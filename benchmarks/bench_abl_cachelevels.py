@@ -1,0 +1,72 @@
+"""Ablation: does the *hierarchy* of caches matter (§III-A's mapping
+claim)?
+
+The paper argues hierarchical communities map onto hierarchical caches.
+We re-run the cost model on machines with progressively fewer levels
+(L1-only, L1+L2, full L1+L2+L3) and compare how much Rabbit's ordering
+saves over Random on each — the saving should grow with the number of
+levels, because each level captures one community granularity.
+"""
+
+import pytest
+
+from repro.cache import CacheConfig, MachineConfig, cycles_of_sim, simulate_spmv
+from repro.experiments.config import prepared
+from repro.experiments.report import format_table
+from repro.experiments.sweep import sweep_cell
+
+
+def machine_with_levels(k: int) -> MachineConfig:
+    base = (
+        CacheConfig("L1", 1024, 32, 4, hit_latency=4.0),
+        CacheConfig("L2", 8 * 1024, 32, 8, hit_latency=12.0),
+        CacheConfig("L3", 64 * 1024, 32, 16, hit_latency=36.0),
+    )
+    return MachineConfig(
+        name=f"scaled-{k}-level",
+        levels=base[:k],
+        tlb=CacheConfig("TLB", 32 * 256, 256, 4, hit_latency=0.0),
+        memory_latency=200.0,
+        tlb_miss_penalty=30.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def table(config):
+    prep = prepared("it-2004", config)
+    cell = sweep_cell("it-2004", "Rabbit", config)
+    rabbit_graph = prep.graph.permute(cell.permutation)
+    rows = []
+    for k in (1, 2, 3):
+        m = machine_with_levels(k)
+        rand = cycles_of_sim(simulate_spmv(prep.graph, m))
+        rab = cycles_of_sim(simulate_spmv(rabbit_graph, m))
+        rows.append([f"{k} level(s)", rand / 1e6, rab / 1e6, rand / rab])
+    text = format_table(
+        ["hierarchy", "Random Mcyc", "Rabbit Mcyc", "speedup"],
+        rows,
+        title="Ablation: cache-hierarchy depth (it-2004 stand-in)",
+    )
+    print("\n" + text)
+    return text
+
+
+def test_abl_cachelevels_table(table):
+    assert "speedup" in table
+
+
+def test_abl_cachelevels_rabbit_always_wins(config, table):
+    prep = prepared("it-2004", config)
+    cell = sweep_cell("it-2004", "Rabbit", config)
+    rabbit_graph = prep.graph.permute(cell.permutation)
+    for k in (1, 2, 3):
+        m = machine_with_levels(k)
+        rand = cycles_of_sim(simulate_spmv(prep.graph, m))
+        rab = cycles_of_sim(simulate_spmv(rabbit_graph, m))
+        assert rab < rand
+
+
+def test_abl_cachelevels_bench_full_hierarchy(benchmark, config, table):
+    g = prepared("it-2004", config).graph
+    m = machine_with_levels(3)
+    benchmark.pedantic(lambda: simulate_spmv(g, m), rounds=2, iterations=1)

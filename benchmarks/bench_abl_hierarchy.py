@@ -1,0 +1,74 @@
+"""Ablation: hierarchical DFS ordering vs flat community ordering
+(§III-A).
+
+Rabbit's ordering co-locates communities *recursively*; the flat
+baseline keeps each top-level community contiguous but ignores the inner
+hierarchy (members in arbitrary order within the block).  The paper's
+hierarchy claim predicts the DFS ordering wins at the inner cache levels
+(L1/L2) where the nested blocks live.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import scaled_machine, simulate_spmv
+from repro.experiments.config import prepared
+from repro.experiments.report import format_table
+from repro.graph.perm import permutation_from_order
+from repro.rabbit import community_detection_seq
+
+
+def flat_permutation(dendrogram) -> np.ndarray:
+    """Communities contiguous, members in vertex-id order (no nesting)."""
+    chunks = [
+        np.sort(dendrogram.members(int(r))) for r in dendrogram.toplevel
+    ]
+    return permutation_from_order(np.concatenate(chunks))
+
+
+@pytest.fixture(scope="module")
+def table(config):
+    machine = scaled_machine()
+    rows = []
+    for ds in config.dataset_names():
+        g = prepared(ds, config).graph
+        d, _ = community_detection_seq(g)
+        dfs_sim = simulate_spmv(g.permute(d.ordering()), machine)
+        flat_sim = simulate_spmv(g.permute(flat_permutation(d)), machine)
+        rows.append(
+            [
+                ds,
+                dfs_sim.level("L1").misses,
+                flat_sim.level("L1").misses,
+                dfs_sim.level("L2").misses,
+                flat_sim.level("L2").misses,
+            ]
+        )
+    text = format_table(
+        ["graph", "L1 (DFS)", "L1 (flat)", "L2 (DFS)", "L2 (flat)"],
+        rows,
+        title="Ablation: hierarchical DFS ordering vs flat community ordering",
+    )
+    print("\n" + text)
+    return text
+
+
+def test_abl_hierarchy_table(table):
+    assert "flat" in table
+
+
+def test_abl_hierarchy_dfs_wins_inner_levels(config, table):
+    machine = scaled_machine()
+    g = prepared("it-2004", config).graph
+    d, _ = community_detection_seq(g)
+    dfs_l1 = simulate_spmv(g.permute(d.ordering()), machine).level("L1").misses
+    flat_l1 = (
+        simulate_spmv(g.permute(flat_permutation(d)), machine).level("L1").misses
+    )
+    assert dfs_l1 <= flat_l1 * 1.05  # nesting must not hurt, should help
+
+
+def test_abl_hierarchy_bench_ordering_generation(benchmark, config, table):
+    g = prepared("it-2004", config).graph
+    d, _ = community_detection_seq(g)
+    benchmark(lambda: d.ordering())

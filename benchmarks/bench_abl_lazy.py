@@ -1,0 +1,58 @@
+"""Ablation: lazy vs eager aggregation (§III-B's second idea).
+
+Lazy aggregation defers edge rewriting until a community representative
+is processed; eager rewriting moves the source's edge set (and patches
+every neighbour's) at each merge.  The bench reports the work ratio and
+checks quality is unchanged.
+"""
+
+import pytest
+
+from repro.community import modularity
+from repro.experiments.config import prepared
+from repro.experiments.report import format_table
+from repro.rabbit import community_detection_eager, community_detection_seq
+
+
+@pytest.fixture(scope="module")
+def table(config):
+    rows = []
+    for ds in config.dataset_names():
+        g = prepared(ds, config).graph
+        d_lazy, s_lazy = community_detection_seq(g)
+        d_eager, s_eager = community_detection_eager(g)
+        rows.append(
+            [
+                ds,
+                s_lazy.edges_scanned,
+                s_eager.edges_scanned,
+                s_eager.edges_scanned / max(s_lazy.edges_scanned, 1),
+                modularity(g, d_lazy.community_labels()),
+                modularity(g, d_eager.community_labels()),
+            ]
+        )
+    text = format_table(
+        ["graph", "work (lazy)", "work (eager)", "ratio", "Q (lazy)", "Q (eager)"],
+        rows,
+        title="Ablation: lazy vs eager aggregation",
+    )
+    print("\n" + text)
+    return text
+
+
+def test_abl_lazy_table(table):
+    assert "ratio" in table
+
+
+def test_abl_lazy_beats_eager_on_work(config, table):
+    g = prepared("it-2004", config).graph
+    _, s_lazy = community_detection_seq(g)
+    _, s_eager = community_detection_eager(g)
+    assert s_lazy.edges_scanned < s_eager.edges_scanned
+
+
+@pytest.mark.parametrize("variant", ["lazy", "eager"])
+def test_abl_lazy_bench(benchmark, config, variant, table):
+    g = prepared("it-2004", config).graph
+    fn = community_detection_seq if variant == "lazy" else community_detection_eager
+    benchmark.pedantic(lambda: fn(g), rounds=2, iterations=1)

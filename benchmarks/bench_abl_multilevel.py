@@ -1,0 +1,67 @@
+"""Ablation: multilevel vs flat bisection inside Nested Dissection.
+
+mt-metis owes its separator quality to multilevel coarsening (heavy-edge
+matching + projection + refinement).  This bench quantifies what the ND
+baseline gains from it: cut sizes of the top-level bisection, and the
+locality of the resulting ND ordering.
+"""
+
+import pytest
+
+from repro.cache import scaled_machine, simulate_spmv
+from repro.experiments.config import prepared
+from repro.experiments.report import format_table
+from repro.order import bisect_graph, nd_order
+from repro.order.coarsen import multilevel_bisect
+
+
+@pytest.fixture(scope="module")
+def table(config):
+    machine = scaled_machine()
+    rows = []
+    for ds in config.dataset_names():
+        g = prepared(ds, config).graph
+        flat = bisect_graph(g, rng=0)
+        ml = multilevel_bisect(g, rng=0)
+        nd_flat = nd_order(g, multilevel=False, rng=0)
+        nd_ml = nd_order(g, multilevel=True, rng=0)
+        tlb_flat = (
+            simulate_spmv(g.permute(nd_flat.permutation), machine)
+            .level("TLB").misses
+        )
+        tlb_ml = (
+            simulate_spmv(g.permute(nd_ml.permutation), machine)
+            .level("TLB").misses
+        )
+        rows.append(
+            [ds, flat.cut_edges, ml.cut_edges, tlb_flat, tlb_ml]
+        )
+    text = format_table(
+        ["graph", "cut (flat)", "cut (multilevel)", "ND TLB (flat)", "ND TLB (ml)"],
+        rows,
+        title="Ablation: flat vs multilevel bisection for Nested Dissection",
+    )
+    print("\n" + text)
+    return text
+
+
+def test_abl_multilevel_table(table):
+    assert "multilevel" in table
+
+
+def test_abl_multilevel_cuts_no_worse(config, table):
+    g = prepared("it-2004", config).graph
+    flat = bisect_graph(g, rng=0)
+    ml = multilevel_bisect(g, rng=0)
+    assert ml.cut_edges <= flat.cut_edges
+
+
+@pytest.mark.parametrize("variant", ["flat", "multilevel"])
+def test_abl_multilevel_bench(benchmark, config, variant, table):
+    g = prepared("it-2004", config).graph
+    fn = (
+        (lambda: bisect_graph(g, rng=0))
+        if variant == "flat"
+        else (lambda: multilevel_bisect(g, rng=0))
+    )
+    benchmark.pedantic(fn, rounds=2, iterations=1)

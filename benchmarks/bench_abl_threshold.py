@@ -1,0 +1,63 @@
+"""Ablation: the dQ > 0 merge threshold (community resolution).
+
+Sweeping the merge threshold trades community size against count: higher
+thresholds stop aggregation earlier (more, smaller communities), probing
+how sensitive the ordering's locality is to the paper's dQ > 0 rule.
+"""
+
+import pytest
+
+from repro.cache import scaled_machine, simulate_spmv
+from repro.experiments.config import prepared
+from repro.experiments.report import format_table
+from repro.rabbit import rabbit_order
+
+#: Thresholds as fractions of a singleton pair's maximum gain 2/(2m):
+#: 0 is the paper's rule, 1.0 suppresses every merge.
+FACTORS = (0.0, 0.05, 0.2, 0.5, 0.9)
+
+
+def thresholds_for(graph) -> list[float]:
+    unit = 2.0 / (2.0 * graph.total_edge_weight())
+    return [f * unit for f in FACTORS]
+
+
+@pytest.fixture(scope="module")
+def table(config):
+    machine = scaled_machine()
+    rows = []
+    g = prepared("it-2004", config).graph
+    for f, thr in zip(FACTORS, thresholds_for(g)):
+        res = rabbit_order(g, merge_threshold=thr)
+        sim = simulate_spmv(g.permute(res.permutation), machine)
+        rows.append(
+            [f, res.num_communities, sim.level("L1").misses, sim.level("L3").misses]
+        )
+    text = format_table(
+        ["threshold x 2m/2", "#communities", "L1 misses", "L3 misses"],
+        rows,
+        title="Ablation: merge-gain threshold sweep (it-2004 stand-in)",
+    )
+    print("\n" + text)
+    return text
+
+
+def test_abl_threshold_table(table):
+    assert "#communities" in table
+
+
+def test_abl_threshold_monotone_communities(config, table):
+    g = prepared("it-2004", config).graph
+    counts = [
+        rabbit_order(g, merge_threshold=t).num_communities
+        for t in thresholds_for(g)
+    ]
+    assert counts == sorted(counts)
+
+
+def test_abl_threshold_bench(benchmark, config, table):
+    g = prepared("it-2004", config).graph
+    thr = thresholds_for(g)[2]
+    benchmark.pedantic(
+        lambda: rabbit_order(g, merge_threshold=thr), rounds=2, iterations=1
+    )

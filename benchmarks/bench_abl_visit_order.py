@@ -1,0 +1,49 @@
+"""Ablation: the degree-ordered visiting heuristic (§III-B).
+
+The paper picks source vertices in increasing initial-degree order to
+shrink aggregation cost (low-degree fringe folds into hubs before the
+hubs are processed).  This bench compares degree / identity / random
+visit orders on work done and resulting modularity.
+"""
+
+import pytest
+
+from repro.community import modularity
+from repro.experiments.config import prepared
+from repro.experiments.report import format_table
+from repro.rabbit import community_detection_seq
+
+VISITS = ("degree", "identity", "random")
+
+
+@pytest.fixture(scope="module")
+def table(config):
+    rows = []
+    for ds in config.dataset_names():
+        g = prepared(ds, config).graph
+        row = [ds]
+        for visit in VISITS:
+            d, stats = community_detection_seq(g, visit=visit, visit_rng=0)
+            q = modularity(g, d.community_labels())
+            row.extend([stats.edges_scanned, q])
+        rows.append(row)
+    headers = ["graph"]
+    for v in VISITS:
+        headers.extend([f"work({v})", f"Q({v})"])
+    text = format_table(headers, rows, title="Ablation: aggregation visit order")
+    print("\n" + text)
+    return text
+
+
+def test_abl_visit_table(table):
+    assert "work(degree)" in table
+
+
+@pytest.mark.parametrize("visit", VISITS)
+def test_abl_visit_bench(benchmark, config, visit, table):
+    g = prepared("twitter", config).graph  # skew stresses the heuristic
+    benchmark.pedantic(
+        lambda: community_detection_seq(g, visit=visit, visit_rng=0),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,44 @@
+"""Figure 6: end-to-end speedup over random ordering.
+
+Prints the per-graph speedup table (paper: Rabbit ~2.2x average, most
+competitors near or below 1x) and benchmarks the end-to-end pipeline —
+Rabbit reorder + PageRank — against PageRank alone on the random
+ordering.
+"""
+
+import pytest
+
+from repro.analysis import pagerank
+from repro.experiments.config import prepared
+from repro.experiments.endtoend import figure6_table
+from repro.rabbit import rabbit_order
+
+
+@pytest.fixture(scope="module")
+def table(config):
+    text = figure6_table(config)
+    print("\n" + text)
+    return text
+
+
+def test_fig6_table_regenerates(table):
+    assert "Rabbit" in table
+
+
+def bench_dataset(config):
+    return prepared("it-2004", config).graph
+
+
+def test_fig6_bench_pagerank_random(benchmark, config, table):
+    g = bench_dataset(config)
+    benchmark(lambda: pagerank(g))
+
+
+def test_fig6_bench_rabbit_end_to_end(benchmark, config, table):
+    g = bench_dataset(config)
+
+    def end_to_end():
+        res = rabbit_order(g)
+        return pagerank(g.permute(res.permutation))
+
+    benchmark(end_to_end)

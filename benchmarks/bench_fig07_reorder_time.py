@@ -1,0 +1,33 @@
+"""Figure 7: reordering time per algorithm.
+
+Prints the simulated-cycle table and wall-clock-benchmarks every Table
+III algorithm on the same graph — the directly measured counterpart of
+the figure (paper shape: Degree/Shingle cheapest, Rabbit close, LLP an
+order of magnitude slower, SlashBurn slow and sequential).
+"""
+
+import pytest
+
+from repro.experiments.config import prepared
+from repro.experiments.reorder_time import figure7_table
+from repro.order import ALGORITHMS
+from repro.order.registry import TABLE3_ORDER
+
+
+@pytest.fixture(scope="module")
+def table(config):
+    text = figure7_table(config)
+    print("\n" + text)
+    return text
+
+
+def test_fig7_table_regenerates(table):
+    assert "LLP" in table
+
+
+@pytest.mark.parametrize("algorithm", [a for a in TABLE3_ORDER if a != "Random"])
+def test_fig7_bench_reorder(benchmark, config, algorithm, table):
+    g = prepared("it-2004", config).graph
+    benchmark.pedantic(
+        lambda: ALGORITHMS[algorithm](g, rng=0), rounds=2, iterations=1
+    )

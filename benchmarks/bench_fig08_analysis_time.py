@@ -1,0 +1,36 @@
+"""Figure 8: PageRank analysis time per ordering.
+
+Prints the simulated-cycle table and *wall-clock* benchmarks PageRank on
+the random vs Rabbit vs RCM orderings — the numpy gather in SpMV is
+physically memory-bound, so the reordered runs are measurably faster
+even in Python (the secondary sanity track from DESIGN.md §3).
+"""
+
+import pytest
+
+from repro.analysis import pagerank
+from repro.experiments.analysis_time import figure8_table
+from repro.experiments.config import prepared
+from repro.experiments.sweep import sweep_cell
+
+
+@pytest.fixture(scope="module")
+def table(config):
+    text = figure8_table(config)
+    print("\n" + text)
+    return text
+
+
+def test_fig8_table_regenerates(table):
+    assert "Random" in table
+
+
+@pytest.mark.parametrize("ordering", ["Random", "Rabbit", "RCM", "Degree"])
+def test_fig8_bench_pagerank(benchmark, config, ordering, table):
+    prep = prepared("it-2004", config)
+    if ordering == "Random":
+        g = prep.graph
+    else:
+        cell = sweep_cell("it-2004", ordering, config)
+        g = prep.graph.permute(cell.permutation)
+    benchmark(lambda: pagerank(g))

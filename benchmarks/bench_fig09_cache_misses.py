@@ -1,0 +1,32 @@
+"""Figure 9: L1/L2/L3/TLB miss counts for the smallest and largest
+graphs, per ordering.
+
+Prints the exact-simulation miss table (paper shape: Rabbit and LLP cut
+misses most; relative reductions larger on the L3-overflowing it-2004
+than on berkstan) and benchmarks the cache simulator itself.
+"""
+
+import pytest
+
+from repro.cache import scaled_machine, simulate_spmv
+from repro.experiments.cache_misses import figure9_table
+from repro.experiments.config import ExperimentConfig, prepared
+
+
+@pytest.fixture(scope="module")
+def table(config):
+    text = figure9_table(config, datasets=("berkstan", "it-2004"))
+    print("\n" + text)
+    return text
+
+
+def test_fig9_table_regenerates(table):
+    assert "TLB" in table
+
+
+def test_fig9_bench_simulator_warm_spmv(benchmark, config, table):
+    g = prepared("berkstan", config).graph
+    machine = scaled_machine()
+    benchmark.pedantic(
+        lambda: simulate_spmv(g, machine, warm=True), rounds=3, iterations=1
+    )

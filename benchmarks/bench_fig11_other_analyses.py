@@ -1,0 +1,44 @@
+"""Figure 11: average end-to-end speedup for DFS, BFS, SCC,
+pseudo-diameter and k-core.
+
+Prints the per-analysis speedup table (paper: Rabbit best everywhere;
+DFS/BFS gain only ~1.2-1.3x, SCC/diameter/k-core 2.0-3.4x) and
+benchmarks the five analyses on the random ordering.
+"""
+
+import pytest
+
+from repro.analysis import (
+    bfs_forest,
+    core_numbers,
+    dfs_forest,
+    pseudo_diameter,
+    strongly_connected_components,
+)
+from repro.experiments.config import prepared
+from repro.experiments.other_analyses import figure11_table
+
+ANALYSES = {
+    "DFS": dfs_forest,
+    "BFS": bfs_forest,
+    "SCC": strongly_connected_components,
+    "Diameter": pseudo_diameter,
+    "k-core": core_numbers,
+}
+
+
+@pytest.fixture(scope="module")
+def table(config):
+    text = figure11_table(config)
+    print("\n" + text)
+    return text
+
+
+def test_fig11_table_regenerates(table):
+    assert "k-core" in table
+
+
+@pytest.mark.parametrize("analysis", sorted(ANALYSES))
+def test_fig11_bench_analysis(benchmark, config, analysis, table):
+    g = prepared("ljournal", config).graph
+    benchmark.pedantic(lambda: ANALYSES[analysis](g), rounds=2, iterations=1)

@@ -1,0 +1,38 @@
+"""Figure 12: analysis time of each algorithm on the largest graph
+(it-2004 stand-in), per ordering.
+
+Prints the table (paper shape: Rabbit/RCM/LLP best, ND/SlashBurn middle,
+BFS/Shingle/Degree weak; DFS and BFS are the cheapest analyses in
+absolute terms) and benchmarks SCC on random vs Rabbit orderings.
+"""
+
+import pytest
+
+from repro.analysis import strongly_connected_components
+from repro.experiments.config import prepared
+from repro.experiments.other_analyses import figure12_table
+from repro.experiments.sweep import sweep_cell
+
+
+@pytest.fixture(scope="module")
+def table(config):
+    text = figure12_table(config, dataset="it-2004")
+    print("\n" + text)
+    return text
+
+
+def test_fig12_table_regenerates(table):
+    assert "Diameter" in table
+
+
+@pytest.mark.parametrize("ordering", ["Random", "Rabbit"])
+def test_fig12_bench_scc(benchmark, config, ordering, table):
+    prep = prepared("it-2004", config)
+    if ordering == "Random":
+        g = prep.graph
+    else:
+        cell = sweep_cell("it-2004", ordering, config)
+        g = prep.graph.permute(cell.permutation)
+    benchmark.pedantic(
+        lambda: strongly_connected_components(g), rounds=2, iterations=1
+    )

@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate each paper table/figure (printed to stdout — run
+pytest with ``-s`` to see them) and time a representative kernel with
+pytest-benchmark.  ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_DATASETS``
+control the dataset suite; the defaults keep a full
+``pytest benchmarks/ --benchmark-only`` run in the minutes range while
+still exercising every figure on a graph suite whose biggest member
+overflows the scaled L3 (the regime the paper's headline numbers live
+in).  EXPERIMENTS.md records a full-suite run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+DEFAULT_DATASETS = "berkstan,ljournal,road-usa,it-2004,twitter"
+
+
+def bench_config() -> ExperimentConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    raw = os.environ.get("REPRO_BENCH_DATASETS", DEFAULT_DATASETS)
+    datasets = tuple(d for d in raw.split(",") if d)
+    return ExperimentConfig(scale=scale, seed=0, datasets=datasets)
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return bench_config()

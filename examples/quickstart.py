@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: reorder a graph with Rabbit Order and run PageRank.
+
+Builds the paper's Figure 1 example graph, extracts its hierarchical
+communities, applies the ordering, and shows the locality improvement.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CSRGraph, modularity, pagerank, rabbit_order
+from repro.metrics import average_neighbor_gap, diagonal_block_density
+
+# The paper's Figure 1(a): 8 vertices, 12 weighted edges.
+EDGES = [
+    (0, 2, 1.4), (0, 4, 5.1), (0, 7, 2.6), (1, 3, 8.4),
+    (1, 6, 4.2), (2, 4, 8.0), (2, 7, 9.2), (3, 4, 0.5),
+    (3, 6, 3.1), (4, 6, 1.3), (4, 7, 7.9), (5, 7, 0.7),
+]
+
+
+def main() -> None:
+    graph = CSRGraph.from_edges(
+        [e[0] for e in EDGES],
+        [e[1] for e in EDGES],
+        weights=[e[2] for e in EDGES],
+        symmetrize=True,
+    )
+    print(f"input graph: {graph}")
+
+    # 1. Reorder (Algorithm 2: community detection + dendrogram DFS).
+    result = rabbit_order(graph)
+    print(f"permutation pi[old] = new: {result.permutation}")
+    labels = result.dendrogram.community_labels()
+    print(f"communities found: {result.num_communities}  labels: {labels}")
+    print(f"modularity Q = {modularity(graph, labels):.3f}")
+
+    # 2. Apply the permutation -- neighbours now have nearby ids.
+    reordered = graph.permute(result.permutation)
+    print(
+        "average neighbour-id gap: "
+        f"{average_neighbor_gap(graph):.2f} -> {average_neighbor_gap(reordered):.2f}"
+    )
+    print(
+        "edges inside 4-wide diagonal blocks: "
+        f"{diagonal_block_density(graph, 4):.0%} -> "
+        f"{diagonal_block_density(reordered, 4):.0%}"
+    )
+
+    # 3. Analyses are unaffected numerically -- only faster.
+    base = pagerank(graph)
+    fast = pagerank(reordered)
+    assert np.allclose(np.sort(base.scores), np.sort(fast.scores))
+    print(f"PageRank converged in {fast.iterations} iterations; "
+          f"top vertex (old id): {int(np.argmax(base.scores))}")
+
+
+if __name__ == "__main__":
+    main()

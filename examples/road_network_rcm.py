@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Road networks: where BFS-based orderings compete (paper §IV-B).
+
+Road graphs have uniform low degree and huge diameter — RCM's home turf
+— yet the paper shows Rabbit Order still matches or beats it end to end.
+This example compares Rabbit and RCM on a perturbed-lattice road-usa
+stand-in across locality metrics, cache misses and reorder cost, and
+shows a pseudo-diameter computation (one of §IV-E's analyses).
+
+Run:  python examples/road_network_rcm.py
+"""
+
+from repro import pseudo_diameter
+from repro.cache import cycles_of_sim, scaled_machine, simulate_spmv
+from repro.experiments.config import ExperimentConfig, prepared, reordering_cycles
+from repro.metrics import average_neighbor_gap, bandwidth
+from repro.order import ALGORITHMS
+
+
+def main() -> None:
+    config = ExperimentConfig(scale="small", datasets=("road-usa",))
+    graph = prepared("road-usa", config).graph
+    machine = scaled_machine()
+    print(f"road-usa stand-in: {graph}")
+    pd = pseudo_diameter(graph)
+    print(f"pseudo-diameter: {pd.diameter} ({pd.num_sweeps} BFS sweeps)\n")
+
+    print(
+        f"{'ordering':8s} {'bandwidth':>10s} {'avg gap':>9s} "
+        f"{'L1 miss':>9s} {'SpMV Mcyc':>10s} {'reorder Mcyc':>13s}"
+    )
+    base_sim = simulate_spmv(graph, machine)
+    print(
+        f"{'Random':8s} {bandwidth(graph):10d} {average_neighbor_gap(graph):9.1f} "
+        f"{base_sim.level('L1').misses:9d} {cycles_of_sim(base_sim) / 1e6:10.2f} "
+        f"{'-':>13s}"
+    )
+    for name in ("RCM", "Rabbit"):
+        res = ALGORITHMS[name](graph, rng=0)
+        g = graph.permute(res.permutation)
+        sim = simulate_spmv(g, machine)
+        print(
+            f"{name:8s} {bandwidth(g):10d} {average_neighbor_gap(g):9.1f} "
+            f"{sim.level('L1').misses:9d} {cycles_of_sim(sim) / 1e6:10.2f} "
+            f"{reordering_cycles(res.stats, config) / 1e6:13.2f}"
+        )
+    print(
+        "\nRCM minimises bandwidth (its objective) and is at its best on"
+        "\nlattice-like road graphs — exactly the paper's finding — while"
+        "\nRabbit stays within a few percent; both crush Random."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,198 @@
+"""Graph traversals: BFS and DFS (paper §IV-E workloads).
+
+BFS is frontier-vectorised (level-synchronous, numpy masks); DFS is an
+iterative explicit-stack implementation with discovery/finish times.  Both
+return their *visit order*, which doubles as a reordering strategy in
+:mod:`repro.order.bfs_order`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["BFSResult", "DFSResult", "bfs", "bfs_forest", "dfs", "dfs_forest"]
+
+UNREACHED = -1
+
+
+@dataclass(frozen=True)
+class BFSResult:
+    """Level-synchronous BFS output.
+
+    ``order`` lists vertices in visit order (source first); ``level[v]`` is
+    the hop distance from the source (``-1`` if unreached); ``parent[v]``
+    is v's BFS-tree parent (``-1`` for the source / unreached).
+    """
+
+    order: np.ndarray
+    level: np.ndarray
+    parent: np.ndarray
+
+    @property
+    def num_reached(self) -> int:
+        return self.order.size
+
+    @property
+    def eccentricity(self) -> int:
+        """Largest finite level (0 for a single-vertex traversal)."""
+        return int(self.level[self.order].max()) if self.order.size else 0
+
+
+@dataclass(frozen=True)
+class DFSResult:
+    order: np.ndarray  # discovery order
+    discovered: np.ndarray  # discovery timestamp, -1 if unreached
+    finished: np.ndarray  # finish timestamp, -1 if unreached
+
+
+def _check_source(graph: CSRGraph, source: int) -> int:
+    source = int(source)
+    if not (0 <= source < graph.num_vertices):
+        raise GraphFormatError(
+            f"source {source} out of range [0, {graph.num_vertices})"
+        )
+    return source
+
+
+def bfs(graph: CSRGraph, source: int, *, sorted_neighbors: bool = False) -> BFSResult:
+    """Level-synchronous BFS from *source*.
+
+    ``sorted_neighbors`` visits each frontier's discovered vertices in
+    increasing-degree order within the level — the tie-break Cuthill–McKee
+    needs (see :mod:`repro.order.rcm`).
+    """
+    source = _check_source(graph, source)
+    n = graph.num_vertices
+    level = np.full(n, UNREACHED, dtype=np.int64)
+    parent = np.full(n, UNREACHED, dtype=np.int64)
+    level[source] = 0
+    order_chunks: list[np.ndarray] = [np.array([source], dtype=np.int64)]
+    frontier = np.array([source], dtype=np.int64)
+    degrees = graph.degrees() if sorted_neighbors else None
+    depth = 0
+    indptr, indices = graph.indptr, graph.indices
+    while frontier.size:
+        depth += 1
+        # Gather all neighbours of the frontier in one shot.
+        counts = indptr[frontier + 1] - indptr[frontier]
+        total = int(counts.sum())
+        if total == 0:
+            break
+        starts = indptr[frontier]
+        # Build the slot index array [starts[0]..starts[0]+c0), ...
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        slot = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
+        nbrs = indices[slot]
+        srcs = np.repeat(frontier, counts)
+        fresh_mask = level[nbrs] == UNREACHED
+        nbrs, srcs = nbrs[fresh_mask], srcs[fresh_mask]
+        if nbrs.size == 0:
+            break
+        # First occurrence wins as the parent.
+        uniq, first = np.unique(nbrs, return_index=True)
+        level[uniq] = depth
+        parent[uniq] = srcs[first]
+        if sorted_neighbors:
+            uniq = uniq[np.argsort(degrees[uniq], kind="stable")]
+        order_chunks.append(uniq)
+        frontier = uniq
+    return BFSResult(
+        order=np.concatenate(order_chunks), level=level, parent=parent
+    )
+
+
+def bfs_forest(graph: CSRGraph, *, sorted_neighbors: bool = False) -> BFSResult:
+    """BFS covering every component: restart from the smallest-id (or
+    smallest-degree, if *sorted_neighbors*) unreached vertex until all
+    vertices are visited.  Levels restart from 0 per component."""
+    n = graph.num_vertices
+    level = np.full(n, UNREACHED, dtype=np.int64)
+    parent = np.full(n, UNREACHED, dtype=np.int64)
+    chunks: list[np.ndarray] = []
+    if sorted_neighbors:
+        seeds = np.argsort(graph.degrees(), kind="stable")
+    else:
+        seeds = np.arange(n, dtype=np.int64)
+    for s in seeds:
+        if level[s] != UNREACHED:
+            continue
+        r = bfs(graph, int(s), sorted_neighbors=sorted_neighbors)
+        reached = r.order
+        level[reached] = r.level[reached]
+        parent[reached] = r.parent[reached]
+        chunks.append(reached)
+    order = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+    return BFSResult(order=order, level=level, parent=parent)
+
+
+def dfs(graph: CSRGraph, source: int) -> DFSResult:
+    """Iterative depth-first search from *source* with timestamps.
+
+    Neighbours are explored in CSR (ascending id) order, matching the
+    recursive definition."""
+    source = _check_source(graph, source)
+    n = graph.num_vertices
+    discovered = np.full(n, UNREACHED, dtype=np.int64)
+    finished = np.full(n, UNREACHED, dtype=np.int64)
+    order: list[int] = []
+    clock = 0
+    indptr, indices = graph.indptr, graph.indices
+    # Stack of (vertex, next-slot-cursor).
+    stack: list[list[int]] = [[source, int(indptr[source])]]
+    discovered[source] = clock
+    clock += 1
+    order.append(source)
+    while stack:
+        frame = stack[-1]
+        v, cursor = frame
+        end = int(indptr[v + 1])
+        advanced = False
+        while cursor < end:
+            t = int(indices[cursor])
+            cursor += 1
+            if discovered[t] == UNREACHED:
+                frame[1] = cursor
+                discovered[t] = clock
+                clock += 1
+                order.append(t)
+                stack.append([t, int(indptr[t])])
+                advanced = True
+                break
+        if not advanced:
+            finished[v] = clock
+            clock += 1
+            stack.pop()
+    return DFSResult(
+        order=np.array(order, dtype=np.int64),
+        discovered=discovered,
+        finished=finished,
+    )
+
+
+def dfs_forest(graph: CSRGraph) -> DFSResult:
+    """DFS covering every component (restarts at the smallest unreached
+    id); timestamps are global across restarts."""
+    n = graph.num_vertices
+    discovered = np.full(n, UNREACHED, dtype=np.int64)
+    finished = np.full(n, UNREACHED, dtype=np.int64)
+    order: list[np.ndarray] = []
+    shift = 0
+    for s in range(n):
+        if discovered[s] != UNREACHED:
+            continue
+        r = dfs(graph, s)
+        reached = r.order
+        discovered[reached] = r.discovered[reached] + shift
+        finished[reached] = r.finished[reached] + shift
+        shift += 2 * reached.size
+        order.append(reached)
+    return DFSResult(
+        order=np.concatenate(order) if order else np.empty(0, dtype=np.int64),
+        discovered=discovered,
+        finished=finished,
+    )

@@ -1,0 +1,50 @@
+"""Cache simulator substrate: configs, LRU levels, traces, cost model."""
+
+from repro.cache.config import (
+    CacheConfig,
+    MachineConfig,
+    paper_machine,
+    scaled_machine,
+)
+from repro.cache.costmodel import (
+    CYCLES_PER_OP,
+    STREAM_OVERLAP,
+    AnalysisCost,
+    cycles_of_sim,
+    spmv_iteration_cycles,
+)
+from repro.cache.hierarchy import (
+    CacheSimResult,
+    LevelStats,
+    simulate_element_stream,
+    simulate_spmv,
+)
+from repro.cache.lru import LevelResult, SetAssociativeLRU
+from repro.cache.trace import (
+    StreamFootprint,
+    bfs_x_stream,
+    spmv_stream_footprints,
+    spmv_x_stream,
+)
+
+__all__ = [
+    "CacheConfig",
+    "MachineConfig",
+    "paper_machine",
+    "scaled_machine",
+    "SetAssociativeLRU",
+    "LevelResult",
+    "LevelStats",
+    "CacheSimResult",
+    "simulate_element_stream",
+    "simulate_spmv",
+    "StreamFootprint",
+    "spmv_x_stream",
+    "spmv_stream_footprints",
+    "bfs_x_stream",
+    "cycles_of_sim",
+    "spmv_iteration_cycles",
+    "AnalysisCost",
+    "CYCLES_PER_OP",
+    "STREAM_OVERLAP",
+]

@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``reorder``
+    Read a graph, compute a permutation with any Table III algorithm,
+    write the permutation and/or the reordered graph.
+``analyze``
+    Run an analysis (pagerank/bfs/dfs/scc/diameter/kcore/components) and
+    print summary statistics.
+``stats``
+    Structural and locality statistics of a graph (plus an optional
+    ASCII spy plot).
+``generate``
+    Emit a synthetic graph (registry dataset or raw generator).
+
+Graphs are read/written by extension: ``.npz`` (binary), ``.graph``
+(METIS), ``.mtx`` (MatrixMarket), anything else as a whitespace edge
+list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["main"]
+
+
+def _load_graph(path: str):
+    from repro.graph.io import read_edge_list, read_matrix_market, read_metis
+    from repro.graph.npz import load_npz
+
+    suffix = Path(path).suffix.lower()
+    if suffix == ".npz":
+        return load_npz(path)
+    if suffix == ".graph":
+        return read_metis(path)
+    if suffix == ".mtx":
+        return read_matrix_market(path)
+    return read_edge_list(path)
+
+
+def _save_graph(graph, path: str) -> None:
+    from repro.graph.io import write_edge_list, write_matrix_market, write_metis
+    from repro.graph.npz import save_npz
+
+    suffix = Path(path).suffix.lower()
+    if suffix == ".npz":
+        save_npz(graph, path)
+    elif suffix == ".graph":
+        write_metis(graph, path)
+    elif suffix == ".mtx":
+        write_matrix_market(graph, path)
+    else:
+        write_edge_list(graph, path)
+
+
+def _cmd_reorder(args) -> int:
+    from repro.order import get_algorithm
+
+    graph = _load_graph(args.input)
+    t0 = time.perf_counter()
+    result = get_algorithm(args.algorithm)(graph, rng=args.seed)
+    dt = time.perf_counter() - t0
+    print(
+        f"{args.algorithm} reordered {graph.num_vertices} vertices / "
+        f"{graph.num_undirected_edges} edges in {dt:.2f}s "
+        f"(work={result.stats.work:.0f})"
+    )
+    if args.perm_out:
+        np.save(args.perm_out, result.permutation)
+        print(f"permutation -> {args.perm_out}")
+    if args.graph_out:
+        _save_graph(graph.permute(result.permutation), args.graph_out)
+        print(f"reordered graph -> {args.graph_out}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import (
+        bfs,
+        connected_components,
+        core_numbers,
+        dfs_forest,
+        pagerank,
+        pseudo_diameter,
+        strongly_connected_components,
+    )
+
+    graph = _load_graph(args.input)
+    t0 = time.perf_counter()
+    if args.analysis == "pagerank":
+        res = pagerank(graph)
+        top = np.argsort(-res.scores)[:5]
+        print(f"pagerank: {res.iterations} iterations, residual {res.residual:.2e}")
+        print("top vertices:", ", ".join(f"{int(v)}={res.scores[v]:.4g}" for v in top))
+    elif args.analysis == "bfs":
+        r = bfs(graph, args.source)
+        print(f"bfs from {args.source}: reached {r.num_reached}, "
+              f"eccentricity {r.eccentricity}")
+    elif args.analysis == "dfs":
+        r = dfs_forest(graph)
+        print(f"dfs: visited {r.order.size} vertices")
+    elif args.analysis == "scc":
+        r = strongly_connected_components(graph)
+        print(f"scc: {r.num_components} components, "
+              f"largest {int(r.component_sizes().max())}")
+    elif args.analysis == "components":
+        r = connected_components(graph)
+        print(f"components: {r.num_components}, "
+              f"largest {int(r.component_sizes().max())}")
+    elif args.analysis == "diameter":
+        r = pseudo_diameter(graph, source=args.source)
+        print(f"pseudo-diameter: {r.diameter} (endpoints {r.endpoints}, "
+              f"{r.num_sweeps} sweeps)")
+    elif args.analysis == "kcore":
+        core = core_numbers(graph)
+        print(f"k-core: max core {int(core.max(initial=0))}, "
+              f"mean {core.mean():.2f}")
+    print(f"[{time.perf_counter() - t0:.2f}s]")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.metrics import (
+        average_neighbor_gap,
+        bandwidth,
+        diagonal_block_density,
+        spy,
+    )
+
+    g = _load_graph(args.input)
+    deg = g.degrees()
+    print(f"vertices        {g.num_vertices}")
+    print(f"edges           {g.num_undirected_edges}")
+    print(f"self-loops      {g.num_self_loops}")
+    print(f"weighted        {g.is_weighted}")
+    print(f"symmetric       {g.is_symmetric()}")
+    print(f"degree          min {deg.min(initial=0)}  "
+          f"mean {deg.mean() if deg.size else 0:.2f}  max {deg.max(initial=0)}")
+    print(f"avg nbr gap     {average_neighbor_gap(g):.1f}")
+    print(f"bandwidth       {bandwidth(g)}")
+    print(f"block density   w=64: {diagonal_block_density(g, 64):.1%}")
+    if args.spy:
+        print(spy(g, args.spy))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.graph.generators import list_datasets, load_dataset
+
+    if args.dataset not in list_datasets():
+        raise ReproError(
+            f"unknown dataset {args.dataset!r}; "
+            f"available: {', '.join(list_datasets())}"
+        )
+    ds = load_dataset(args.dataset, args.scale, seed=args.seed)
+    _save_graph(ds.graph, args.output)
+    print(
+        f"{args.dataset} ({args.scale}): {ds.graph.num_vertices} vertices, "
+        f"{ds.graph.num_undirected_edges} edges -> {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Rabbit Order reproduction: reorder, analyse, inspect graphs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("reorder", help="reorder a graph")
+    p.add_argument("input", help="graph file (.npz/.graph/.mtx/edge list)")
+    p.add_argument("--algorithm", "-a", default="Rabbit")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--perm-out", help="write pi as .npy")
+    p.add_argument("--graph-out", help="write the reordered graph")
+    p.set_defaults(fn=_cmd_reorder)
+
+    p = sub.add_parser("analyze", help="run an analysis algorithm")
+    p.add_argument("input")
+    p.add_argument(
+        "analysis",
+        choices=["pagerank", "bfs", "dfs", "scc", "components", "diameter", "kcore"],
+    )
+    p.add_argument("--source", type=int, default=0)
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("stats", help="graph statistics")
+    p.add_argument("input")
+    p.add_argument("--spy", type=int, default=0, metavar="GRID",
+                   help="also print an ASCII spy plot at this grid size")
+    p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("generate", help="emit a synthetic dataset")
+    p.add_argument("dataset")
+    p.add_argument("output")
+    p.add_argument("--scale", default="small")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_generate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse *argv* and dispatch to a subcommand; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,18 @@
+"""Community substrate: modularity, dendrograms, reference detectors."""
+
+from repro.community.dendrogram import NO_VERTEX, Dendrogram
+from repro.community.modularity import (
+    community_degrees,
+    delta_q,
+    modularity,
+    newman_degrees,
+)
+
+__all__ = [
+    "NO_VERTEX",
+    "Dendrogram",
+    "modularity",
+    "delta_q",
+    "community_degrees",
+    "newman_degrees",
+]

@@ -1,0 +1,173 @@
+"""Dendrogram produced by incremental aggregation (paper Figure 5).
+
+The dendrogram over the *original* vertex set is stored exactly as in
+Algorithm 3: two parallel arrays,
+
+* ``child[v]`` — the **last** vertex merged into ``v`` (``NO_VERTEX`` if
+  none), and
+* ``sibling[u]`` — the vertex merged into the same destination immediately
+  **before** ``u`` (``NO_VERTEX`` if ``u`` was the first),
+
+plus the set of *top-level* vertices (dendrogram roots).  Following
+``child`` then the ``sibling`` chain enumerates a vertex's direct children
+from most-recently merged to first-merged.
+
+Ordering generation (Algorithm 2's ``OrderingGeneration``) is the
+post-order DFS over this forest: children subtrees first (most recent
+child first, matching the paper's running example where DFS from top-level
+4 yields 5, 7, 0, 2, 4), then the vertex itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.perm import permutation_from_order
+
+__all__ = ["NO_VERTEX", "Dendrogram"]
+
+#: Sentinel for "no vertex" links (the paper uses UINT32_MAX; we use -1
+#: since the arrays are int64).
+NO_VERTEX: int = -1
+
+
+@dataclass(frozen=True)
+class Dendrogram:
+    """Forest over the original vertices recording the merge history."""
+
+    child: np.ndarray  # int64, child[v] = last vertex merged into v
+    sibling: np.ndarray  # int64, sibling[u] = previous vertex merged into u's parent
+    toplevel: np.ndarray  # int64, roots in detection order
+
+    def __post_init__(self) -> None:
+        child = np.asarray(self.child, dtype=np.int64)
+        sibling = np.asarray(self.sibling, dtype=np.int64)
+        toplevel = np.asarray(self.toplevel, dtype=np.int64)
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "sibling", sibling)
+        object.__setattr__(self, "toplevel", toplevel)
+        if child.shape != sibling.shape:
+            raise GraphFormatError("child and sibling arrays must be parallel")
+
+    @property
+    def num_vertices(self) -> int:
+        return self.child.size
+
+    # ------------------------------------------------------------------
+    def children(self, v: int) -> list[int]:
+        """Direct children of *v*, most-recently merged first."""
+        out: list[int] = []
+        c = int(self.child[v])
+        while c != NO_VERTEX:
+            out.append(c)
+            c = int(self.sibling[c])
+        return out
+
+    def members(self, v: int) -> np.ndarray:
+        """All vertices in *v*'s subtree (including *v*), DFS order."""
+        out: list[int] = []
+        stack = [int(v)]
+        while stack:
+            x = stack.pop()
+            out.append(x)
+            c = int(self.child[x])
+            while c != NO_VERTEX:
+                stack.append(c)
+                c = int(self.sibling[c])
+        return np.array(out, dtype=np.int64)
+
+    def parents(self) -> np.ndarray:
+        """Reconstruct ``parent[u]`` (``NO_VERTEX`` for roots)."""
+        parent = np.full(self.num_vertices, NO_VERTEX, dtype=np.int64)
+        for v in range(self.num_vertices):
+            c = int(self.child[v])
+            while c != NO_VERTEX:
+                parent[c] = v
+                c = int(self.sibling[c])
+        return parent
+
+    def community_labels(self) -> np.ndarray:
+        """Label each vertex with the index of its top-level root (the
+        paper's extracted communities)."""
+        labels = np.full(self.num_vertices, -1, dtype=np.int64)
+        for i, root in enumerate(self.toplevel):
+            labels[self.members(int(root))] = i
+        return labels
+
+    def subtree_sizes(self) -> np.ndarray:
+        """Size of each vertex's subtree (itself included)."""
+        parent = self.parents()
+        sizes = np.ones(self.num_vertices, dtype=np.int64)
+        # Accumulate bottom-up: process vertices in an order where children
+        # precede parents — a reverse DFS from the roots gives exactly that.
+        order = self.dfs_visit_order()
+        for v in order:  # post-order: children always appear before parents
+            p = parent[v]
+            if p != NO_VERTEX:
+                sizes[p] += sizes[v]
+        return sizes
+
+    # ------------------------------------------------------------------
+    def dfs_visit_order(self, toplevel_subset: np.ndarray | None = None) -> np.ndarray:
+        """Post-order DFS visit order over the forest (old vertex ids in
+        their new positions): for each root, children subtrees first
+        (most-recent child first), then the root.
+
+        This is the paper's ORDERINGGENERATION output viewed as a visit
+        order; invert it (``permutation_from_order``) to get π.
+        """
+        roots = self.toplevel if toplevel_subset is None else toplevel_subset
+        out = np.empty(0, dtype=np.int64)
+        chunks: list[np.ndarray] = []
+        for root in roots:
+            chunks.append(self._dfs_single(int(root)))
+        if chunks:
+            out = np.concatenate(chunks)
+        return out
+
+    def _dfs_single(self, root: int) -> np.ndarray:
+        """Post-order DFS of one tree, iterative (graphs can be deep)."""
+        out: list[int] = []
+        # Stack holds (vertex, child-iterator-state); we emulate post-order
+        # with an explicit "expanded" marker.
+        stack: list[tuple[int, bool]] = [(root, False)]
+        while stack:
+            v, expanded = stack.pop()
+            if expanded:
+                out.append(v)
+                continue
+            stack.append((v, True))
+            # Push children so the most-recently merged child is processed
+            # first: chain order is already most-recent-first, and pushing
+            # in reverse makes the first-pushed popped last, so push the
+            # chain reversed.
+            chain: list[int] = []
+            c = int(self.child[v])
+            while c != NO_VERTEX:
+                chain.append(c)
+                c = int(self.sibling[c])
+            for c in reversed(chain):
+                stack.append((c, False))
+        return np.array(out, dtype=np.int64)
+
+    def ordering(self) -> np.ndarray:
+        """Permutation π with ``π[old] = new`` (Algorithm 2's output)."""
+        return permutation_from_order(self.dfs_visit_order())
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check forest well-formedness: every vertex reachable from
+        exactly one root, no cycles."""
+        seen = np.zeros(self.num_vertices, dtype=np.int64)
+        for root in self.toplevel:
+            for v in self.members(int(root)):
+                seen[v] += 1
+        if np.any(seen != 1):
+            bad = int(np.flatnonzero(seen != 1)[0])
+            raise GraphFormatError(
+                f"dendrogram is not a forest partition: vertex {bad} appears "
+                f"{int(seen[bad])} times across top-level subtrees"
+            )

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with one ``except`` clause while still
+being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "PermutationError",
+    "ConvergenceError",
+    "SchedulerError",
+    "CacheConfigError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """A graph, edge list, or serialized graph file is malformed."""
+
+
+class PermutationError(ReproError):
+    """An array claimed to be a vertex permutation is not a bijection."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm exceeded its iteration budget."""
+
+
+class SchedulerError(ReproError):
+    """The deterministic interleaving scheduler was misused (e.g. a task
+    performed a blocking operation outside a yield point)."""
+
+
+class CacheConfigError(ReproError):
+    """A cache/TLB configuration is invalid (non power-of-two sets, zero
+    associativity, line size not dividing capacity, ...)."""
+
+
+class DatasetError(ReproError):
+    """A dataset name is unknown to the registry or its parameters are
+    inconsistent."""

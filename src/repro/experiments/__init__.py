@@ -1,0 +1,57 @@
+"""Experiment harness: one module per paper table/figure.
+
+Run from the command line::
+
+    python -m repro.experiments fig6 --scale small
+    python -m repro.experiments all --scale tiny
+
+or call the ``figureN()`` / ``figureN_table()`` functions directly.
+"""
+
+from repro.experiments.analysis_time import figure8, figure8_table
+from repro.experiments.cache_misses import figure9, figure9_table
+from repro.experiments.config import (
+    PAPER_THREADS,
+    REORDER_CYCLES_PER_TOUCH,
+    ExperimentConfig,
+)
+from repro.experiments.datasets_table import table2_table
+from repro.experiments.endtoend import figure6, figure6_table
+from repro.experiments.other_analyses import (
+    figure11,
+    figure11_table,
+    figure12,
+    figure12_table,
+)
+from repro.experiments.quality import table4, table4_table
+from repro.experiments.reorder_time import figure7, figure7_table
+from repro.experiments.scalability import figure10, figure10_table
+from repro.experiments.sweep import clear_sweep_cache, sweep_cell
+from repro.experiments.wallclock import wallclock, wallclock_table
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_THREADS",
+    "REORDER_CYCLES_PER_TOUCH",
+    "figure6",
+    "figure6_table",
+    "figure7",
+    "figure7_table",
+    "figure8",
+    "figure8_table",
+    "figure9",
+    "figure9_table",
+    "figure10",
+    "figure10_table",
+    "figure11",
+    "figure11_table",
+    "figure12",
+    "figure12_table",
+    "table2_table",
+    "table4",
+    "table4_table",
+    "sweep_cell",
+    "clear_sweep_cache",
+    "wallclock",
+    "wallclock_table",
+]

@@ -1,0 +1,74 @@
+"""CLI entry point: regenerate any paper table or figure.
+
+Examples::
+
+    python -m repro.experiments datasets
+    python -m repro.experiments fig6 --scale small
+    python -m repro.experiments fig9 --scale medium
+    python -m repro.experiments all --scale tiny --datasets berkstan,it-2004
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentConfig,
+    figure6_table,
+    figure7_table,
+    figure8_table,
+    figure9_table,
+    figure10_table,
+    figure11_table,
+    figure12_table,
+    table2_table,
+    table4_table,
+    wallclock_table,
+)
+
+EXPERIMENTS = {
+    "datasets": table2_table,
+    "fig6": figure6_table,
+    "fig7": figure7_table,
+    "fig8": figure8_table,
+    "fig9": figure9_table,
+    "fig10": figure10_table,
+    "fig11": figure11_table,
+    "fig12": figure12_table,
+    "tab4": table4_table,
+    "wallclock": wallclock_table,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--scale", default="small", help="dataset scale preset")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--datasets",
+        default="",
+        help="comma-separated dataset subset (default: the full Table II suite)",
+    )
+    args = parser.parse_args(argv)
+    datasets = tuple(d for d in args.datasets.split(",") if d)
+    config = ExperimentConfig(scale=args.scale, seed=args.seed, datasets=datasets)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.perf_counter()
+        print(EXPERIMENTS[name](config))
+        print(f"[{name}: {time.perf_counter() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

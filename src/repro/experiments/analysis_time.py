@@ -1,0 +1,78 @@
+"""Figure 8: PageRank analysis time per ordering.
+
+Simulated parallel PageRank cycles to convergence on each reordered
+graph, Random included.  The paper's shape: Rabbit and LLP best
+(3.3–3.4x over Random on average), RCM/ND/SlashBurn in the middle,
+BFS/Shingle/Degree near Random; everything weak on the twitter-like
+graph; small graphs gain less because they fit in L3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.endtoend import FIG6_ALGORITHMS
+from repro.experiments.report import format_table
+from repro.experiments.sweep import sweep_cell
+
+__all__ = ["FIG8_ALGORITHMS", "AnalysisTimeRow", "figure8", "figure8_table"]
+
+FIG8_ALGORITHMS: tuple[str, ...] = (*FIG6_ALGORITHMS, "Random")
+
+
+@dataclass(frozen=True)
+class AnalysisTimeRow:
+    dataset: str
+    cycles: dict[str, float]
+    iterations: int
+
+
+def figure8(
+    config: ExperimentConfig | None = None,
+    algorithms: tuple[str, ...] = FIG8_ALGORITHMS,
+) -> list[AnalysisTimeRow]:
+    """Compute Figure 8: PageRank analysis cycles per ordering."""
+    config = config or ExperimentConfig()
+    rows: list[AnalysisTimeRow] = []
+    for ds in config.dataset_names():
+        cycles: dict[str, float] = {}
+        iters = 0
+        for alg in algorithms:
+            cell = sweep_cell(ds, alg, config)
+            cycles[alg] = cell.analysis_cycles
+            iters = cell.pagerank_iterations
+        rows.append(AnalysisTimeRow(dataset=ds, cycles=cycles, iterations=iters))
+    return rows
+
+
+def analysis_speedups(rows: list[AnalysisTimeRow]) -> dict[str, float]:
+    """Average analysis-only speedup over Random, per algorithm."""
+    algorithms = [a for a in rows[0].cycles if a != "Random"]
+    return {
+        alg: float(
+            np.mean([r.cycles["Random"] / r.cycles[alg] for r in rows])
+        )
+        for alg in algorithms
+    }
+
+
+def figure8_table(
+    config: ExperimentConfig | None = None,
+    algorithms: tuple[str, ...] = FIG8_ALGORITHMS,
+) -> str:
+    """Render Figure 8 as an aligned text table."""
+    rows = figure8(config, algorithms)
+    headers = ["graph", "PR iters", *algorithms]
+    body = [
+        [r.dataset, r.iterations, *(r.cycles[a] / 1e6 for a in algorithms)]
+        for r in rows
+    ]
+    return format_table(
+        headers,
+        body,
+        title="Figure 8: PageRank analysis time [simulated megacycles, 48-thread model]",
+        precision=1,
+    )

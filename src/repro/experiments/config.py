@@ -1,0 +1,123 @@
+"""Shared experiment configuration and the measurement primitives that
+every figure/table reproduction builds on.
+
+The simulated-time accounting (see DESIGN.md §3 and
+:mod:`repro.cache.costmodel`):
+
+* **analysis time** — cache-simulated cycles per kernel iteration times
+  the iteration count, divided by the parallel efficiency of the paper's
+  48-thread SpMV (embarrassingly parallel; bandwidth effects are inside
+  the miss counts already).
+* **reordering time** — the algorithm's measured work/span profile pushed
+  through the Brent-bound projection at 48 threads, times
+  ``REORDER_CYCLES_PER_TOUCH`` (aggregation/partition/label work is
+  random-access dominated, so a touch is charged a mid-hierarchy average
+  latency rather than the 1-cycle ALU cost used for streaming SpMV ops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.cache.config import MachineConfig, scaled_machine
+from repro.cache.costmodel import spmv_iteration_cycles
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import list_datasets, load_dataset
+from repro.graph.perm import random_permutation
+from repro.order.base import OrderingResult, OrderingStats
+from repro.parallel.costmodel import ParallelMachine, projected_time
+
+__all__ = [
+    "REORDER_CYCLES_PER_TOUCH",
+    "PAPER_THREADS",
+    "ExperimentConfig",
+    "PreparedDataset",
+    "prepare_dataset",
+    "reordering_cycles",
+    "analysis_cycles_parallel",
+]
+
+#: Cycles charged per reordering work unit: reordering work is dominated
+#: by irregular accesses (hash/dict updates, scattered reads), so a touch
+#: costs a mid-hierarchy latency, between an L2 hit (12) and memory (200).
+REORDER_CYCLES_PER_TOUCH: float = 30.0
+
+#: The paper's experiments run 48 threads (24 cores x 2-way HT).
+PAPER_THREADS: int = 48
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    scale: str = "small"
+    seed: int = 0
+    datasets: tuple[str, ...] = ()
+    machine: MachineConfig = field(default_factory=scaled_machine)
+    parallel_machine: ParallelMachine = field(default_factory=ParallelMachine)
+    threads: int = PAPER_THREADS
+
+    def dataset_names(self) -> tuple[str, ...]:
+        return self.datasets if self.datasets else tuple(list_datasets())
+
+
+@dataclass(frozen=True)
+class PreparedDataset:
+    """A dataset instance with the paper's randomised baseline ordering
+    already applied (§IV: publisher orderings are replaced by random)."""
+
+    name: str
+    graph: CSRGraph  # randomly ordered baseline graph
+    pagerank_iterations: int
+
+
+def prepare_dataset(name: str, config: ExperimentConfig) -> PreparedDataset:
+    """Generate a dataset and randomise its vertex ids (the baseline)."""
+    from repro.analysis.pagerank import pagerank
+
+    ds = load_dataset(name, config.scale, seed=config.seed)
+    rng = np.random.default_rng(config.seed + 0x5EED)
+    baseline = ds.graph.permute(random_permutation(ds.graph.num_vertices, rng))
+    # Iteration count is a property of the graph, not the ordering.
+    iters = pagerank(baseline, max_iterations=300).iterations
+    return PreparedDataset(name=name, graph=baseline, pagerank_iterations=iters)
+
+
+def reordering_cycles(
+    stats: OrderingStats, config: ExperimentConfig
+) -> float:
+    """Simulated reordering time (cycles) at the configured thread count."""
+    return (
+        projected_time(stats, config.threads, config.parallel_machine)
+        * REORDER_CYCLES_PER_TOUCH
+    )
+
+
+def analysis_cycles_parallel(
+    graph: CSRGraph, iterations: int, config: ExperimentConfig
+) -> float:
+    """Simulated parallel analysis time (cycles) of *iterations* SpMV
+    sweeps over *graph* at the configured thread count."""
+    cost = spmv_iteration_cycles(graph, config.machine, iterations=iterations)
+    eff = config.parallel_machine.effective_parallelism(config.threads)
+    return cost.total_cycles / eff
+
+
+def run_ordering(
+    graph: CSRGraph, algorithm: str, seed: int = 0, **kwargs
+) -> OrderingResult:
+    """Dispatch one reordering algorithm with a deterministic seed."""
+    from repro.order.registry import get_algorithm
+
+    return get_algorithm(algorithm)(graph, rng=seed, **kwargs)
+
+
+@lru_cache(maxsize=64)
+def _cached_prepare(name: str, scale: str, seed: int) -> PreparedDataset:
+    return prepare_dataset(name, ExperimentConfig(scale=scale, seed=seed))
+
+
+def prepared(name: str, config: ExperimentConfig) -> PreparedDataset:
+    """Cached dataset preparation (experiments share the suite)."""
+    return _cached_prepare(name, config.scale, config.seed)

@@ -1,0 +1,35 @@
+"""Table II: the graph suite — paper datasets vs their synthetic
+stand-ins at the configured scale."""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig, prepared
+from repro.experiments.report import format_table
+from repro.graph.generators import PAPER_TABLE2
+
+__all__ = ["table2_table"]
+
+
+def table2_table(config: ExperimentConfig | None = None) -> str:
+    """Render Table II: paper datasets next to their stand-ins."""
+    config = config or ExperimentConfig()
+    body = []
+    for name in config.dataset_names():
+        prep = prepared(name, config)
+        g = prep.graph
+        pv, pe = PAPER_TABLE2[name]
+        body.append(
+            [
+                name,
+                f"{pv:g}M",
+                f"{pe:g}M",
+                g.num_vertices,
+                g.num_undirected_edges,
+                f"{2 * g.num_undirected_edges / max(g.num_vertices, 1):.1f}",
+            ]
+        )
+    return format_table(
+        ["graph", "paper |V|", "paper |E|", "ours |V|", "ours |E|", "avg deg"],
+        body,
+        title=f"Table II: dataset suite (scale={config.scale})",
+    )

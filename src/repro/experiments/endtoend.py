@@ -1,0 +1,79 @@
+"""Figure 6: end-to-end performance improvement.
+
+Speedup of each reordering algorithm on each graph, relative to analysing
+the randomly ordered graph directly:
+
+    speedup = T_analysis(random) / (T_reorder + T_analysis(pi))
+
+with PageRank to convergence as the analysis (48-thread setting).  The
+paper reports Rabbit best at 2.21x average (3.48x max, it-2004) with most
+competitors below 1x; the reproduction should preserve that shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.experiments.sweep import baseline_cell, sweep_cell
+
+__all__ = ["FIG6_ALGORITHMS", "EndToEndRow", "figure6", "figure6_table"]
+
+#: The algorithms Figure 6 plots (Random is the implicit baseline).
+FIG6_ALGORITHMS: tuple[str, ...] = (
+    "Rabbit",
+    "Slash",
+    "BFS",
+    "RCM",
+    "ND",
+    "LLP",
+    "Shingle",
+    "Degree",
+)
+
+
+@dataclass(frozen=True)
+class EndToEndRow:
+    dataset: str
+    speedups: dict[str, float]  # algorithm -> end-to-end speedup
+
+
+def figure6(
+    config: ExperimentConfig | None = None,
+    algorithms: tuple[str, ...] = FIG6_ALGORITHMS,
+) -> list[EndToEndRow]:
+    """Compute Figure 6: end-to-end speedup rows (plus the average row)."""
+    config = config or ExperimentConfig()
+    rows: list[EndToEndRow] = []
+    for ds in config.dataset_names():
+        base = baseline_cell(ds, config)
+        speedups: dict[str, float] = {}
+        for alg in algorithms:
+            cell = sweep_cell(ds, alg, config)
+            end_to_end = cell.reorder_cycles + cell.analysis_cycles
+            speedups[alg] = base.analysis_cycles / end_to_end
+        rows.append(EndToEndRow(dataset=ds, speedups=speedups))
+    averages = {
+        alg: float(np.mean([r.speedups[alg] for r in rows])) for alg in algorithms
+    }
+    rows.append(EndToEndRow(dataset="Average", speedups=averages))
+    return rows
+
+
+def figure6_table(
+    config: ExperimentConfig | None = None,
+    algorithms: tuple[str, ...] = FIG6_ALGORITHMS,
+) -> str:
+    """Render Figure 6 as an aligned text table."""
+    rows = figure6(config, algorithms)
+    headers = ["graph", *algorithms]
+    body = [[r.dataset, *(r.speedups[a] for a in algorithms)] for r in rows]
+    return format_table(
+        headers,
+        body,
+        title="Figure 6: end-to-end speedup over random ordering (PageRank, 48-thread model)",
+        precision=2,
+    )

@@ -1,0 +1,136 @@
+"""Figures 11 and 12: reordering effectiveness on the other analyses.
+
+Figure 11 — average end-to-end speedup of each reordering algorithm for
+DFS, BFS, SCC, pseudo-diameter and k-core (analyses are sequential, per
+the paper; reordering still runs the 48-thread model).  Paper shape:
+Rabbit best everywhere; DFS/BFS gain little (1.2–1.3x) because a single
+lightweight pass cannot amortise the reordering; SCC/diameter/k-core gain
+2.0–3.4x.
+
+Figure 12 — absolute analysis time of each algorithm on the it-2004
+stand-in, per ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.analyses import ANALYSES, AnalysisSpec, analysis_cycles
+from repro.experiments.config import ExperimentConfig, prepared
+from repro.experiments.endtoend import FIG6_ALGORITHMS
+from repro.experiments.report import format_table
+from repro.experiments.sweep import sweep_cell
+
+__all__ = [
+    "OtherAnalysisRow",
+    "figure11",
+    "figure11_table",
+    "figure12",
+    "figure12_table",
+]
+
+
+@dataclass(frozen=True)
+class OtherAnalysisRow:
+    analysis: str
+    speedups: dict[str, float]  # algorithm -> avg end-to-end speedup
+
+
+_ANALYSIS_CYCLES_CACHE: dict[tuple, float] = {}
+
+
+def _cycles(
+    ds: str, alg: str, spec: AnalysisSpec, config: ExperimentConfig
+) -> float:
+    """Sequential analysis cycles of *spec* on *ds* reordered by *alg*
+    ('Random' = baseline graph)."""
+    key = (ds, alg, spec.name, config.scale, config.seed)
+    if key in _ANALYSIS_CYCLES_CACHE:
+        return _ANALYSIS_CYCLES_CACHE[key]
+    prep = prepared(ds, config)
+    if alg == "Random":
+        g = prep.graph
+    else:
+        cell = sweep_cell(ds, alg, config)  # reuses the cached ordering run
+        g = prep.graph.permute(cell.permutation)
+    cycles, _sim = analysis_cycles(g, spec, config.machine)
+    _ANALYSIS_CYCLES_CACHE[key] = cycles
+    return cycles
+
+
+def figure11(
+    config: ExperimentConfig | None = None,
+    algorithms: tuple[str, ...] = FIG6_ALGORITHMS,
+    analyses: tuple[AnalysisSpec, ...] = ANALYSES,
+) -> list[OtherAnalysisRow]:
+    """Compute Figure 11: per-analysis average end-to-end speedups."""
+    config = config or ExperimentConfig()
+    datasets = config.dataset_names()
+    rows: list[OtherAnalysisRow] = []
+    for spec in analyses:
+        speedups: dict[str, list[float]] = {alg: [] for alg in algorithms}
+        for ds in datasets:
+            base = _cycles(ds, "Random", spec, config)
+            for alg in algorithms:
+                cell = sweep_cell(ds, alg, config)
+                end_to_end = cell.reorder_cycles + _cycles(ds, alg, spec, config)
+                speedups[alg].append(base / end_to_end)
+        rows.append(
+            OtherAnalysisRow(
+                analysis=spec.name,
+                speedups={a: float(np.mean(v)) for a, v in speedups.items()},
+            )
+        )
+    return rows
+
+
+def figure11_table(
+    config: ExperimentConfig | None = None,
+    algorithms: tuple[str, ...] = FIG6_ALGORITHMS,
+) -> str:
+    """Render Figure 11 as an aligned text table."""
+    rows = figure11(config, algorithms)
+    headers = ["analysis", *algorithms]
+    body = [[r.analysis, *(r.speedups[a] for a in algorithms)] for r in rows]
+    return format_table(
+        headers,
+        body,
+        title="Figure 11: avg end-to-end speedup over random ordering, other analyses",
+        precision=2,
+    )
+
+
+def figure12(
+    config: ExperimentConfig | None = None,
+    dataset: str = "it-2004",
+    algorithms: tuple[str, ...] = (*FIG6_ALGORITHMS, "Random"),
+    analyses: tuple[AnalysisSpec, ...] = ANALYSES,
+) -> dict[str, dict[str, float]]:
+    """analysis -> {algorithm -> cycles} on *dataset*."""
+    config = config or ExperimentConfig()
+    out: dict[str, dict[str, float]] = {}
+    for spec in analyses:
+        out[spec.name] = {
+            alg: _cycles(dataset, alg, spec, config) for alg in algorithms
+        }
+    return out
+
+
+def figure12_table(
+    config: ExperimentConfig | None = None, dataset: str = "it-2004"
+) -> str:
+    """Render Figure 12 as an aligned text table."""
+    data = figure12(config, dataset)
+    algorithms = list(next(iter(data.values())))
+    headers = ["analysis", *algorithms]
+    body = [
+        [name, *(data[name][a] / 1e6 for a in algorithms)] for name in data
+    ]
+    return format_table(
+        headers,
+        body,
+        title=f"Figure 12: analysis time on {dataset} [simulated megacycles]",
+        precision=1,
+    )

@@ -1,0 +1,61 @@
+"""Figure 7: reordering time per algorithm (log-scale in the paper).
+
+Reported in simulated megacycles (the primary unit; see DESIGN.md §3)
+with measured Python wall seconds alongside as the sanity track.  The
+paper's shape: Degree and Shingle cheapest, Rabbit close behind, LLP an
+order of magnitude above everything, SlashBurn expensive and sequential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.endtoend import FIG6_ALGORITHMS
+from repro.experiments.report import format_table
+from repro.experiments.sweep import sweep_cell
+
+__all__ = ["ReorderTimeRow", "figure7", "figure7_table"]
+
+
+@dataclass(frozen=True)
+class ReorderTimeRow:
+    dataset: str
+    cycles: dict[str, float]  # algorithm -> simulated reorder cycles
+    wall_seconds: dict[str, float]
+
+
+def figure7(
+    config: ExperimentConfig | None = None,
+    algorithms: tuple[str, ...] = FIG6_ALGORITHMS,
+) -> list[ReorderTimeRow]:
+    """Compute Figure 7: reordering cycles and wall seconds per cell."""
+    config = config or ExperimentConfig()
+    rows: list[ReorderTimeRow] = []
+    for ds in config.dataset_names():
+        cycles: dict[str, float] = {}
+        wall: dict[str, float] = {}
+        for alg in algorithms:
+            cell = sweep_cell(ds, alg, config)
+            cycles[alg] = cell.reorder_cycles
+            wall[alg] = cell.wall_seconds
+        rows.append(ReorderTimeRow(dataset=ds, cycles=cycles, wall_seconds=wall))
+    return rows
+
+
+def figure7_table(
+    config: ExperimentConfig | None = None,
+    algorithms: tuple[str, ...] = FIG6_ALGORITHMS,
+) -> str:
+    """Render Figure 7 as an aligned text table."""
+    rows = figure7(config, algorithms)
+    headers = ["graph", *algorithms]
+    body = [
+        [r.dataset, *(r.cycles[a] / 1e6 for a in algorithms)] for r in rows
+    ]
+    return format_table(
+        headers,
+        body,
+        title="Figure 7: reordering time [simulated megacycles, 48-thread model]",
+        precision=2,
+    )

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every experiment prints the same rows/series as the corresponding paper
+table or figure, as an aligned text table (figures become tables of their
+plotted values).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def _fmt_cell(value, precision: int) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1e5 or (0 < abs(value) < 1e-3):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt_cell(v, precision) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+) -> None:
+    """Print :func:`format_table` output followed by a blank line."""
+    print(format_table(headers, rows, title=title, precision=precision))
+    print()

@@ -1,0 +1,116 @@
+"""Incremental graph builder.
+
+:class:`GraphBuilder` accumulates edges in growable buffers and finalises
+into a :class:`~repro.graph.csr.CSRGraph`.  It is the convenient front door
+for examples and for file parsers; the heavy lifting (sorting, coalescing,
+symmetrising) happens once at :meth:`GraphBuilder.build` time so the
+incremental path stays O(1) amortised per edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulate edges, then build a CSR graph.
+
+    Parameters
+    ----------
+    undirected:
+        if True (default), :meth:`build` symmetrises the edge set.
+    allow_self_loops:
+        if False, self-loops are silently dropped at build time.
+    """
+
+    _INITIAL_CAPACITY = 1024
+
+    def __init__(self, *, undirected: bool = True, allow_self_loops: bool = True):
+        self.undirected = undirected
+        self.allow_self_loops = allow_self_loops
+        self._src = np.empty(self._INITIAL_CAPACITY, dtype=np.int64)
+        self._dst = np.empty(self._INITIAL_CAPACITY, dtype=np.int64)
+        self._w = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._count = 0
+        self._any_weighted = False
+        self._num_vertices_hint = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _grow(self, needed: int) -> None:
+        cap = self._src.size
+        if self._count + needed <= cap:
+            return
+        new_cap = max(cap * 2, self._count + needed)
+        for name in ("_src", "_dst", "_w"):
+            old = getattr(self, name)
+            buf = np.empty(new_cap, dtype=old.dtype)
+            buf[: self._count] = old[: self._count]
+            setattr(self, name, buf)
+
+    def reserve_vertices(self, n: int) -> None:
+        """Ensure the built graph has at least *n* vertices even if some are
+        isolated."""
+        if n < 0:
+            raise GraphFormatError("vertex count must be non-negative")
+        self._num_vertices_hint = max(self._num_vertices_hint, int(n))
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        if u < 0 or v < 0:
+            raise GraphFormatError(f"vertex ids must be non-negative, got ({u}, {v})")
+        self._grow(1)
+        self._src[self._count] = u
+        self._dst[self._count] = v
+        self._w[self._count] = weight
+        if weight != 1.0:
+            self._any_weighted = True
+        self._count += 1
+
+    def add_edges(self, src, dst, weights=None) -> None:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise GraphFormatError("src/dst must be equal-length 1-D arrays")
+        k = src.size
+        self._grow(k)
+        self._src[self._count : self._count + k] = src
+        self._dst[self._count : self._count + k] = dst
+        if weights is None:
+            self._w[self._count : self._count + k] = 1.0
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != src.shape:
+                raise GraphFormatError("weights must be parallel to src/dst")
+            self._w[self._count : self._count + k] = w
+            if np.any(w != 1.0):
+                self._any_weighted = True
+        self._count += k
+
+    def build(self, num_vertices: int | None = None) -> CSRGraph:
+        """Finalise into a CSR graph (the builder remains usable)."""
+        src = self._src[: self._count].copy()
+        dst = self._dst[: self._count].copy()
+        w = self._w[: self._count].copy() if self._any_weighted else None
+        if not self.allow_self_loops:
+            keep = src != dst
+            src, dst = src[keep], dst[keep]
+            if w is not None:
+                w = w[keep]
+        n = num_vertices
+        if n is None and self._num_vertices_hint:
+            observed = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1
+            n = max(self._num_vertices_hint, observed)
+        return CSRGraph.from_edges(
+            src,
+            dst,
+            num_vertices=n,
+            weights=w,
+            symmetrize=self.undirected,
+            coalesce=True,
+        )

@@ -1,0 +1,37 @@
+"""Synthetic graph generators and the paper-dataset registry."""
+
+from repro.graph.generators.classic import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    road_lattice_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.generators.hierarchical import (
+    HierarchicalGraph,
+    hierarchical_community_graph,
+)
+from repro.graph.generators.registry import (
+    PAPER_TABLE2,
+    SCALES,
+    Dataset,
+    DatasetSpec,
+    list_datasets,
+    load_dataset,
+)
+from repro.graph.generators.rmat import rmat_graph
+
+__all__ = [
+    "barabasi_albert_graph",
+    "erdos_renyi_graph",
+    "road_lattice_graph",
+    "watts_strogatz_graph",
+    "HierarchicalGraph",
+    "hierarchical_community_graph",
+    "rmat_graph",
+    "Dataset",
+    "DatasetSpec",
+    "list_datasets",
+    "load_dataset",
+    "PAPER_TABLE2",
+    "SCALES",
+]

@@ -1,0 +1,306 @@
+"""Graph serialisation: whitespace edge lists, METIS, and MatrixMarket.
+
+These are the three formats the paper's dataset sources (SNAP, LAW exports,
+DIMACS) commonly ship.  Parsers are strict and raise
+:class:`~repro.errors.GraphFormatError` with line numbers on malformed
+input; writers produce files the parsers round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_metis",
+    "write_metis",
+    "read_matrix_market",
+    "write_matrix_market",
+]
+
+
+def _open_text(path_or_file, mode: str):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode, encoding="utf-8"), True
+    return path_or_file, False
+
+
+# ----------------------------------------------------------------------
+# Whitespace edge lists (SNAP style)
+# ----------------------------------------------------------------------
+def read_edge_list(
+    path_or_file,
+    *,
+    undirected: bool = True,
+    weighted: bool = False,
+    comment: str = "#",
+) -> CSRGraph:
+    """Parse a ``u v [w]`` per-line edge list (SNAP style).
+
+    Lines starting with *comment* are skipped.  Vertex ids must be
+    non-negative integers.
+    """
+    fh, should_close = _open_text(path_or_file, "r")
+    try:
+        srcs: list[int] = []
+        dsts: list[int] = []
+        ws: list[float] = []
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 2 or (weighted and len(parts) < 3):
+                raise GraphFormatError(
+                    f"line {lineno}: expected "
+                    f"{'u v w' if weighted else 'u v'}, got {line!r}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"line {lineno}: non-integer vertex id in {line!r}"
+                ) from exc
+            if u < 0 or v < 0:
+                raise GraphFormatError(f"line {lineno}: negative vertex id")
+            srcs.append(u)
+            dsts.append(v)
+            if weighted:
+                try:
+                    ws.append(float(parts[2]))
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"line {lineno}: non-numeric weight in {line!r}"
+                    ) from exc
+        return CSRGraph.from_edges(
+            np.array(srcs, dtype=np.int64),
+            np.array(dsts, dtype=np.int64),
+            weights=np.array(ws, dtype=np.float64) if weighted else None,
+            symmetrize=undirected,
+        )
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_edge_list(graph: CSRGraph, path_or_file, *, weighted: bool | None = None) -> None:
+    """Write one directed slot per line (``u v`` or ``u v w``).
+
+    For symmetric graphs both directions are written; re-reading with
+    ``undirected=False`` round-trips exactly.
+    """
+    if weighted is None:
+        weighted = graph.is_weighted
+    fh, should_close = _open_text(path_or_file, "w")
+    try:
+        src, dst, w = graph.edge_array()
+        if weighted:
+            for u, v, ww in zip(src, dst, w):
+                fh.write(f"{u} {v} {ww:.17g}\n")
+        else:
+            for u, v in zip(src, dst):
+                fh.write(f"{u} {v}\n")
+    finally:
+        if should_close:
+            fh.close()
+
+
+# ----------------------------------------------------------------------
+# METIS format
+# ----------------------------------------------------------------------
+def read_metis(path_or_file) -> CSRGraph:
+    """Parse a METIS ``.graph`` file (1-indexed adjacency lists).
+
+    Supports fmt codes ``0`` (unweighted) and ``1`` (edge weights).  Vertex
+    weights (fmt ``10``/``11``) are rejected explicitly.
+    """
+    fh, should_close = _open_text(path_or_file, "r")
+    try:
+        header = None
+        rows: list[list[str]] = []
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if stripped.startswith("%"):
+                continue
+            if header is None:
+                # Blank lines before the header are ignorable; after it,
+                # a blank line is an isolated vertex's (empty) adjacency.
+                if not stripped:
+                    continue
+                header = (lineno, stripped.split())
+            else:
+                rows.append(stripped.split())
+        if header is None:
+            raise GraphFormatError("METIS file has no header line")
+        hline, parts = header
+        if len(parts) < 2:
+            raise GraphFormatError(f"line {hline}: METIS header needs 'n m [fmt]'")
+        n, m = int(parts[0]), int(parts[1])
+        fmt = parts[2] if len(parts) >= 3 else "0"
+        if fmt not in ("0", "00", "1", "01"):
+            raise GraphFormatError(
+                f"line {hline}: unsupported METIS fmt {fmt!r} (vertex weights not supported)"
+            )
+        has_ew = fmt in ("1", "01")
+        # Tolerate trailing blank lines (e.g. editor-added final newline).
+        while len(rows) > n and not rows[-1]:
+            rows.pop()
+        if len(rows) != n:
+            raise GraphFormatError(
+                f"METIS header declares {n} vertices but file has {len(rows)} adjacency lines"
+            )
+        srcs: list[int] = []
+        dsts: list[int] = []
+        ws: list[float] = []
+        for u, tokens in enumerate(rows):
+            if has_ew and len(tokens) % 2 != 0:
+                raise GraphFormatError(
+                    f"vertex {u}: odd token count in weighted adjacency list"
+                )
+            step = 2 if has_ew else 1
+            for i in range(0, len(tokens), step):
+                v = int(tokens[i]) - 1
+                if v < 0 or v >= n:
+                    raise GraphFormatError(
+                        f"vertex {u}: neighbour id {v + 1} out of range 1..{n}"
+                    )
+                srcs.append(u)
+                dsts.append(v)
+                if has_ew:
+                    ws.append(float(tokens[i + 1]))
+        graph = CSRGraph.from_edges(
+            np.array(srcs, dtype=np.int64),
+            np.array(dsts, dtype=np.int64),
+            num_vertices=n,
+            weights=np.array(ws, dtype=np.float64) if has_ew else None,
+            symmetrize=False,
+            coalesce=True,
+        )
+        if graph.num_undirected_edges != m:
+            raise GraphFormatError(
+                f"METIS header declares {m} edges but adjacency lists encode "
+                f"{graph.num_undirected_edges}"
+            )
+        return graph
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_metis(graph: CSRGraph, path_or_file) -> None:
+    """Write a symmetric graph in METIS format (loops are dropped, as METIS
+    does not support them)."""
+    if not graph.is_symmetric():
+        raise GraphFormatError("METIS format requires a symmetric graph")
+    g = graph.without_self_loops()
+    fh, should_close = _open_text(path_or_file, "w")
+    try:
+        fmt = " 1" if g.is_weighted else ""
+        fh.write(f"{g.num_vertices} {g.num_undirected_edges}{fmt}\n")
+        for v in range(g.num_vertices):
+            nbrs = g.neighbors(v)
+            if g.is_weighted:
+                wts = g.neighbor_weights(v)
+                fh.write(
+                    " ".join(f"{u + 1} {w:.17g}" for u, w in zip(nbrs, wts)) + "\n"
+                )
+            else:
+                fh.write(" ".join(str(u + 1) for u in nbrs) + "\n")
+    finally:
+        if should_close:
+            fh.close()
+
+
+# ----------------------------------------------------------------------
+# MatrixMarket coordinate format
+# ----------------------------------------------------------------------
+def read_matrix_market(path_or_file) -> CSRGraph:
+    """Parse a MatrixMarket coordinate file as a graph.
+
+    ``symmetric`` matrices are expanded to both directions; ``general``
+    matrices are taken as-is (directed).  ``pattern`` fields yield an
+    unweighted graph.
+    """
+    fh, should_close = _open_text(path_or_file, "r")
+    try:
+        banner = fh.readline()
+        if not banner.startswith("%%MatrixMarket"):
+            raise GraphFormatError("missing %%MatrixMarket banner")
+        tokens = banner.strip().split()
+        if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+            raise GraphFormatError(f"unsupported MatrixMarket banner: {banner!r}")
+        field, symmetry = tokens[3], tokens[4]
+        if field not in ("real", "integer", "pattern"):
+            raise GraphFormatError(f"unsupported MatrixMarket field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise GraphFormatError(f"unsupported MatrixMarket symmetry {symmetry!r}")
+        size_line = None
+        for line in fh:
+            s = line.strip()
+            if s and not s.startswith("%"):
+                size_line = s
+                break
+        if size_line is None:
+            raise GraphFormatError("MatrixMarket file has no size line")
+        nrows, ncols, nnz = (int(t) for t in size_line.split()[:3])
+        if nrows != ncols:
+            raise GraphFormatError(
+                f"adjacency matrix must be square, got {nrows}x{ncols}"
+            )
+        srcs = np.empty(nnz, dtype=np.int64)
+        dsts = np.empty(nnz, dtype=np.int64)
+        ws = np.empty(nnz, dtype=np.float64) if field != "pattern" else None
+        k = 0
+        for lineno, line in enumerate(fh, start=1):
+            s = line.strip()
+            if not s or s.startswith("%"):
+                continue
+            parts = s.split()
+            if k >= nnz:
+                raise GraphFormatError("more entries than declared nnz")
+            srcs[k] = int(parts[0]) - 1
+            dsts[k] = int(parts[1]) - 1
+            if ws is not None:
+                if len(parts) < 3:
+                    raise GraphFormatError(f"entry line {lineno}: missing value")
+                ws[k] = float(parts[2])
+            k += 1
+        if k != nnz:
+            raise GraphFormatError(f"declared nnz {nnz} but parsed {k} entries")
+        return CSRGraph.from_edges(
+            srcs,
+            dsts,
+            num_vertices=nrows,
+            weights=ws,
+            symmetrize=(symmetry == "symmetric"),
+            coalesce=True,
+        )
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_matrix_market(graph: CSRGraph, path_or_file) -> None:
+    """Write all directed slots as a ``general`` coordinate matrix."""
+    fh, should_close = _open_text(path_or_file, "w")
+    try:
+        field = "real" if graph.is_weighted else "pattern"
+        fh.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        fh.write(f"{graph.num_vertices} {graph.num_vertices} {graph.num_edges}\n")
+        src, dst, w = graph.edge_array()
+        if graph.is_weighted:
+            for u, v, ww in zip(src, dst, w):
+                fh.write(f"{u + 1} {v + 1} {ww:.17g}\n")
+        else:
+            for u, v in zip(src, dst):
+                fh.write(f"{u + 1} {v + 1}\n")
+    finally:
+        if should_close:
+            fh.close()

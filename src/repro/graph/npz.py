@@ -1,0 +1,55 @@
+"""Binary graph serialisation (NumPy ``.npz``).
+
+The text formats in :mod:`repro.graph.io` match the dataset publishers';
+for checkpointing generated suites and reordered graphs the compressed
+binary format is ~10x smaller and loads in microseconds.  The three CSR
+arrays are stored verbatim, so save→load is exact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from zipfile import BadZipFile
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["save_npz", "load_npz"]
+
+_FORMAT_VERSION = 1
+
+
+def save_npz(graph: CSRGraph, path) -> None:
+    """Write *graph* to ``path`` (a ``.npz`` archive, compressed)."""
+    payload = {
+        "format_version": np.array([_FORMAT_VERSION], dtype=np.int64),
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+    }
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_npz(path) -> CSRGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    try:
+        with np.load(Path(path)) as data:
+            if "format_version" not in data:
+                raise GraphFormatError(f"{path}: not a repro graph archive")
+            version = int(data["format_version"][0])
+            if version != _FORMAT_VERSION:
+                raise GraphFormatError(
+                    f"{path}: unsupported format version {version}"
+                )
+            return CSRGraph(
+                indptr=data["indptr"],
+                indices=data["indices"],
+                weights=data["weights"] if "weights" in data else None,
+            )
+    except (OSError, BadZipFile, ValueError) as exc:
+        # np.load raises BadZipFile or ValueError depending on how the
+        # file is corrupt.
+        raise GraphFormatError(f"cannot read graph archive {path}: {exc}") from exc

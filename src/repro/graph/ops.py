@@ -1,0 +1,57 @@
+"""Graph-level operations: symmetrisation and degree-direction views.
+
+The paper's Problem 1 assumes an undirected graph "for simplicity;
+directed and/or weighted graphs can be handled with small modifications"
+(§II-B).  The modification for reordering is exactly
+:func:`as_undirected`: detect communities on ``A + Aᵀ`` (link direction
+does not change which vertices co-access), then apply the permutation to
+the original directed graph — the workflow :func:`reorder_directed`
+packages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["as_undirected", "reorder_directed", "out_degrees", "in_degrees"]
+
+
+def as_undirected(graph: CSRGraph) -> CSRGraph:
+    """The symmetric closure ``A + Aᵀ`` (weights of antiparallel edges
+    summed; already-symmetric graphs double their weights consistently,
+    which leaves every modularity/ordering decision unchanged)."""
+    if graph.is_symmetric():
+        return graph
+    src, dst, w = graph.edge_array()
+    return CSRGraph.from_edges(
+        src,
+        dst,
+        num_vertices=graph.num_vertices,
+        weights=w if graph.is_weighted else None,
+        symmetrize=True,
+        coalesce=True,
+    )
+
+
+def reorder_directed(graph: CSRGraph, algorithm: str = "Rabbit", **kwargs):
+    """Reorder a *directed* graph: run *algorithm* on the symmetric
+    closure, return ``(permutation, reordered_directed_graph)``."""
+    from repro.order.registry import get_algorithm
+
+    sym = as_undirected(graph)
+    result = get_algorithm(algorithm)(sym, **kwargs)
+    return result.permutation, graph.permute(result.permutation)
+
+
+def out_degrees(graph: CSRGraph) -> np.ndarray:
+    """Out-degree per vertex (row slot counts)."""
+    return graph.degrees()
+
+
+def in_degrees(graph: CSRGraph) -> np.ndarray:
+    """In-degree per vertex (column slot counts)."""
+    return np.bincount(graph.indices, minlength=graph.num_vertices).astype(
+        np.int64
+    )

@@ -1,0 +1,20 @@
+"""Locality metrics for orderings."""
+
+from repro.metrics.spy import block_density_grid, spy
+from repro.metrics.locality import (
+    average_neighbor_gap,
+    average_row_working_set,
+    bandwidth,
+    diagonal_block_density,
+    profile,
+)
+
+__all__ = [
+    "average_neighbor_gap",
+    "average_row_working_set",
+    "bandwidth",
+    "diagonal_block_density",
+    "profile",
+    "spy",
+    "block_density_grid",
+]

@@ -1,0 +1,41 @@
+"""Reordering algorithms: Rabbit Order's competitors (paper Table III)."""
+
+from repro.order.base import OrderingResult, OrderingStats
+from repro.order.bfs_rcm import bfs_order, cuthill_mckee_order, rcm_order
+from repro.order.llp import llp_order
+from repro.order.nd import nd_order
+from repro.order.partition import BisectionResult, bisect_graph, cut_size
+from repro.order.rabbit_adapter import rabbit_order_result
+from repro.order.registry import (
+    ALGORITHMS,
+    TABLE3_ORDER,
+    get_algorithm,
+    list_algorithms,
+    reorder,
+)
+from repro.order.shingle import shingle_order
+from repro.order.simple import degree_order, random_order
+from repro.order.slashburn import slashburn_order
+
+__all__ = [
+    "OrderingResult",
+    "OrderingStats",
+    "bfs_order",
+    "cuthill_mckee_order",
+    "rcm_order",
+    "llp_order",
+    "nd_order",
+    "bisect_graph",
+    "cut_size",
+    "BisectionResult",
+    "rabbit_order_result",
+    "shingle_order",
+    "degree_order",
+    "random_order",
+    "slashburn_order",
+    "ALGORITHMS",
+    "TABLE3_ORDER",
+    "get_algorithm",
+    "list_algorithms",
+    "reorder",
+]

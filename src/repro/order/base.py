@@ -1,0 +1,70 @@
+"""Common scaffolding for reordering algorithms.
+
+Every algorithm in :mod:`repro.order` returns an :class:`OrderingResult`:
+the permutation π (``π[old] = new``) plus an abstract work/span profile
+used by the scalability and reordering-time cost models
+(:mod:`repro.parallel.costmodel`).
+
+Work units are *memory touches* (edge slots scanned, comparisons made);
+span is the work on the critical path of an idealised parallel execution
+of the same algorithm (e.g. a level-synchronous BFS's span is the sum of
+per-level constants, a sort's span is polylog).  These are measured or
+derived from the run itself — never hard-coded per algorithm name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.perm import validate_permutation
+
+__all__ = ["OrderingStats", "OrderingResult", "SORT_SPAN"]
+
+
+def SORT_SPAN(n: int) -> float:
+    """Span of an idealised parallel comparison sort of *n* keys
+    (bitonic/sample-sort style): O(log^2 n) comparator layers, each a
+    constant number of memory touches per element on the critical path."""
+    if n <= 1:
+        return 1.0
+    lg = np.log2(n)
+    return float(lg * lg)
+
+
+@dataclass
+class OrderingStats:
+    """Abstract cost profile of one reordering run.
+
+    ``barriers`` counts global synchronisation points (level-synchronous
+    BFS levels, label-propagation sweeps, parallel-sort rounds, ...);
+    each costs latency that grows with the thread count, which is what
+    separates the barrier-heavy algorithms from Rabbit's asynchronous
+    aggregation in the Figure 10 projection.
+    """
+
+    work: float = 0.0  # total memory touches
+    span: float = 0.0  # critical-path memory touches
+    barriers: float = 0.0  # global synchronisation points
+    phases: dict[str, float] = field(default_factory=dict)
+    parallelizable: bool = True  # False => the algorithm is sequential
+
+    def add(
+        self, phase: str, work: float, span: float, barriers: float = 0.0
+    ) -> None:
+        self.work += work
+        self.span += span
+        self.barriers += barriers
+        self.phases[phase] = self.phases.get(phase, 0.0) + work
+
+
+@dataclass(frozen=True)
+class OrderingResult:
+    name: str
+    permutation: np.ndarray
+    stats: OrderingStats
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        validate_permutation(self.permutation)

@@ -1,0 +1,94 @@
+"""Adapter exposing Rabbit Order through the common ordering interface,
+including the work/span profile the cost model needs.
+
+The span of parallel incremental aggregation is the heaviest
+work-weighted root-to-leaf path of the dendrogram: a vertex cannot be
+aggregated before its children have merged into it, so dependent merges
+chain along dendrogram paths, while independent subtrees proceed in
+parallel.  We compute that path from the measured per-vertex work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.community.dendrogram import NO_VERTEX, Dendrogram
+from repro.graph.csr import CSRGraph
+from repro.order.base import OrderingResult, OrderingStats
+from repro.rabbit import rabbit_order
+
+__all__ = ["rabbit_order_result", "dendrogram_critical_path"]
+
+
+def dendrogram_critical_path(
+    dendrogram: Dendrogram, vertex_work: np.ndarray
+) -> float:
+    """Maximum root-to-leaf sum of *vertex_work* over the merge forest."""
+    if dendrogram.num_vertices == 0:
+        return 0.0
+    parent = dendrogram.parents()
+    path = vertex_work.astype(np.float64).copy()
+    # Children appear before parents in the post-order visit, so a single
+    # forward pass over it propagates the heaviest child path upward.
+    best_child = np.zeros(dendrogram.num_vertices, dtype=np.float64)
+    order = dendrogram.dfs_visit_order()
+    for v in order:
+        path[v] += best_child[v]
+        p = parent[v]
+        if p != NO_VERTEX and path[v] > best_child[p]:
+            best_child[p] = path[v]
+    roots = dendrogram.toplevel
+    return float(path[roots].max(initial=0.0))
+
+
+def rabbit_order_result(
+    graph: CSRGraph,
+    *,
+    parallel: bool = True,
+    num_threads: int = 4,
+    scheduler_seed: int | None = None,
+    deterministic: bool = True,
+    rng: np.random.Generator | int | None = None,  # accepted for interface parity
+) -> OrderingResult:
+    """Run Rabbit Order and package it as an :class:`OrderingResult`.
+
+    With ``deterministic=True`` (default) a parallel run uses the seeded
+    interleaving scheduler, so the measured work/span profile — and hence
+    every recorded experiment table — is replayable.  The scalability
+    probes pass ``deterministic=False`` to measure genuine thread timing.
+    """
+    if parallel and deterministic and scheduler_seed is None:
+        seed_src = rng if isinstance(rng, int) else 0
+        scheduler_seed = seed_src
+    res = rabbit_order(
+        graph,
+        parallel=parallel,
+        num_threads=num_threads,
+        scheduler_seed=scheduler_seed,
+        collect_vertex_work=True,
+    )
+    stats = OrderingStats()
+    work = float(res.stats.edges_scanned)
+    vertex_work = res.stats.vertex_work
+    if vertex_work is None:  # edgeless graphs skip aggregation entirely
+        vertex_work = np.zeros(graph.num_vertices, dtype=np.int64)
+    span = dendrogram_critical_path(res.dendrogram, vertex_work)
+    stats.add("aggregate", work=work, span=span, barriers=1.0)
+    n = graph.num_vertices
+    # Ordering generation: parallel DFS per top-level; span is the largest
+    # single community's DFS.
+    sizes = res.dendrogram.subtree_sizes()
+    roots = res.dendrogram.toplevel
+    biggest = float(sizes[roots].max(initial=1.0)) if roots.size else 1.0
+    stats.add("ordering", work=float(n), span=biggest, barriers=1.0)
+    extra = {
+        "dendrogram": res.dendrogram,
+        "merges": res.stats.merges,
+        "retries": res.stats.retries,
+        "num_communities": res.num_communities,
+    }
+    if res.parallel is not None:
+        extra["op_counter"] = res.parallel.op_counter.snapshot()
+    return OrderingResult(
+        name="Rabbit", permutation=res.permutation, stats=stats, extra=extra
+    )

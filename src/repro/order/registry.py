@@ -1,0 +1,71 @@
+"""Registry of reordering algorithms — the paper's Table III roster.
+
+Names match the paper's labels exactly ("Rabbit", "Slash", "BFS", "RCM",
+"ND", "LLP", "Shingle", "Degree", "Random").  Each entry is a callable
+``f(graph, *, rng=None, **params) -> OrderingResult``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import DatasetError
+from repro.graph.csr import CSRGraph
+from repro.order.base import OrderingResult
+from repro.order.bfs_rcm import bfs_order, cuthill_mckee_order, rcm_order
+from repro.order.llp import llp_order
+from repro.order.nd import nd_order
+from repro.order.rabbit_adapter import rabbit_order_result
+from repro.order.shingle import shingle_order
+from repro.order.simple import degree_order, random_order
+from repro.order.slashburn import slashburn_order
+
+__all__ = ["ALGORITHMS", "TABLE3_ORDER", "get_algorithm", "list_algorithms"]
+
+OrderingFn = Callable[..., OrderingResult]
+
+ALGORITHMS: dict[str, OrderingFn] = {
+    "Rabbit": rabbit_order_result,
+    "Slash": slashburn_order,
+    "BFS": bfs_order,
+    "RCM": rcm_order,
+    "CM": cuthill_mckee_order,
+    "ND": nd_order,
+    "LLP": llp_order,
+    "Shingle": shingle_order,
+    "Degree": degree_order,
+    "Random": random_order,
+}
+
+#: The competitors as listed in Table III (Random last: the baseline).
+TABLE3_ORDER: tuple[str, ...] = (
+    "Rabbit",
+    "Slash",
+    "BFS",
+    "RCM",
+    "ND",
+    "LLP",
+    "Shingle",
+    "Degree",
+    "Random",
+)
+
+
+def list_algorithms() -> list[str]:
+    """Algorithm names in Table III order."""
+    return list(TABLE3_ORDER)
+
+
+def get_algorithm(name: str) -> OrderingFn:
+    """Look up a reordering algorithm by its Table III name."""
+    if name not in ALGORITHMS:
+        raise DatasetError(
+            f"unknown reordering algorithm {name!r}; "
+            f"available: {', '.join(ALGORITHMS)}"
+        )
+    return ALGORITHMS[name]
+
+
+def reorder(graph: CSRGraph, name: str, **kwargs) -> OrderingResult:
+    """Convenience: look up *name* and run it on *graph*."""
+    return get_algorithm(name)(graph, **kwargs)

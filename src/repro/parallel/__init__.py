@@ -1,0 +1,33 @@
+"""Parallel runtime substrate: atomics, schedulers, cost model."""
+
+from repro.parallel.atomics import (
+    INVALID_DEGREE,
+    AtomicCounter,
+    AtomicPairArray,
+    OpCounter,
+)
+from repro.parallel.costmodel import (
+    ParallelMachine,
+    projected_speedup,
+    projected_time,
+)
+from repro.parallel.scheduler import (
+    InterleavingScheduler,
+    ThreadedRunner,
+    drive,
+    run_tasks,
+)
+
+__all__ = [
+    "INVALID_DEGREE",
+    "AtomicCounter",
+    "AtomicPairArray",
+    "OpCounter",
+    "InterleavingScheduler",
+    "ThreadedRunner",
+    "drive",
+    "run_tasks",
+    "ParallelMachine",
+    "projected_time",
+    "projected_speedup",
+]

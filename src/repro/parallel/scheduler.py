@@ -1,0 +1,166 @@
+"""Task executors for the lock-free algorithms.
+
+Algorithm 3's worker logic is written once, as a *generator* that yields
+control at every atomic-operation boundary.  Two executors drive such
+generators:
+
+* :class:`InterleavingScheduler` — single OS thread, seeded pseudo-random
+  scheduling: at every step one runnable task is chosen and advanced to its
+  next yield point.  Because yields bracket the atomic operations, this
+  explores exactly the interleavings that matter for the CAS protocol, and
+  any schedule can be replayed from its seed.  This is how the test suite
+  drives the rollback/retry paths deterministically.
+* :class:`ThreadedRunner` — real ``threading`` threads, each draining a
+  queue of tasks to completion.  Under CPython the GIL serialises bytecode
+  but preempts between the same yield points (and everywhere else), so
+  conflicts and CAS failures genuinely occur; throughput does not scale,
+  which is why performance is *projected* by :mod:`repro.parallel.costmodel`
+  from the work/contention counters instead of wall time.
+
+A task generator may yield either ``None`` (a pure scheduling point) or a
+new generator (a "spawned" subtask, appended to the runnable set).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Generator, Iterable
+
+import numpy as np
+
+from repro.errors import SchedulerError
+
+__all__ = ["InterleavingScheduler", "ThreadedRunner", "drive"]
+
+TaskGen = Generator
+
+
+def drive(gen: TaskGen) -> None:
+    """Run a task generator to completion on the current thread."""
+    for spawned in gen:
+        if spawned is not None:
+            drive(spawned)
+
+
+class InterleavingScheduler:
+    """Deterministic pseudo-random interleaving of cooperative tasks.
+
+    Parameters
+    ----------
+    seed:
+        seed for the schedule; the same seed replays the same interleaving
+        for the same task set.
+    max_steps:
+        safety valve: raise :class:`SchedulerError` if the task set does
+        not quiesce within this many scheduling steps (catches livelock in
+        retry loops).
+    """
+
+    def __init__(self, seed: int | None = 0, max_steps: int = 50_000_000):
+        self._rng = np.random.default_rng(seed)
+        self._max_steps = max_steps
+        self.steps_taken = 0
+
+    def run(self, tasks: Iterable[TaskGen], *, window: int | None = None) -> None:
+        """Interleave *tasks* until all complete.
+
+        ``window`` bounds how many tasks are live at once (the rest are
+        admitted in order as slots free up) — modelling a machine with
+        that many hardware threads.  ``None`` makes every task live
+        immediately (maximal adversarial interleaving).
+        """
+        pending: deque[TaskGen] = deque(tasks)
+        runnable: list[TaskGen] = []
+        limit = len(pending) if window is None else max(1, window)
+        steps = 0
+        while runnable or pending:
+            while pending and len(runnable) < limit:
+                runnable.append(pending.popleft())
+            idx = int(self._rng.integers(0, len(runnable)))
+            task = runnable[idx]
+            try:
+                spawned = next(task)
+            except StopIteration:
+                # Swap-remove keeps the step O(1).
+                runnable[idx] = runnable[-1]
+                runnable.pop()
+            else:
+                if spawned is not None:
+                    pending.append(spawned)
+            steps += 1
+            if steps > self._max_steps:
+                raise SchedulerError(
+                    f"tasks did not quiesce within {self._max_steps} steps; "
+                    "likely a livelock in a retry loop"
+                )
+        self.steps_taken = steps
+
+
+class ThreadedRunner:
+    """Drain task generators with a pool of real threads.
+
+    Tasks are distributed through a shared deque (dynamic scheduling, like
+    OpenMP ``schedule(dynamic)``); each thread drives one task to
+    completion at a time.  Exceptions in workers are re-raised in the
+    caller after all threads join.
+    """
+
+    def __init__(self, num_threads: int):
+        if num_threads < 1:
+            raise SchedulerError(f"num_threads must be >= 1, got {num_threads}")
+        self.num_threads = num_threads
+
+    def run(self, tasks: Iterable[TaskGen]) -> None:
+        queue: deque[TaskGen] = deque(tasks)
+        lock = threading.Lock()
+        errors: list[BaseException] = []
+
+        def worker() -> None:
+            while True:
+                with lock:
+                    if not queue:
+                        return
+                    task = queue.popleft()
+                try:
+                    for spawned in task:
+                        if spawned is not None:
+                            with lock:
+                                queue.append(spawned)
+                except BaseException as exc:  # noqa: BLE001 - reraised below
+                    with lock:
+                        errors.append(exc)
+                    return
+
+        if self.num_threads == 1:
+            worker()
+        else:
+            threads = [
+                threading.Thread(target=worker, name=f"repro-worker-{i}")
+                for i in range(self.num_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        if errors:
+            raise errors[0]
+
+
+def run_tasks(
+    task_factories: Iterable[Callable[[], TaskGen]],
+    *,
+    num_threads: int = 1,
+    scheduler_seed: int | None = None,
+) -> None:
+    """Convenience front door: build tasks and run them.
+
+    ``scheduler_seed is not None`` selects the deterministic interleaving
+    scheduler (single OS thread); otherwise a :class:`ThreadedRunner` with
+    *num_threads* threads is used.
+    """
+    tasks = [f() for f in task_factories]
+    if scheduler_seed is not None:
+        InterleavingScheduler(seed=scheduler_seed).run(tasks)
+    else:
+        ThreadedRunner(num_threads).run(tasks)

@@ -1,0 +1,32 @@
+"""Rabbit Order: the paper's primary contribution.
+
+Public API: :func:`rabbit_order` (Algorithm 2) plus the component pieces
+(sequential and parallel community detection, ordering generation).
+"""
+
+from repro.rabbit.common import AggregationState, RabbitStats
+from repro.rabbit.dynamic import DynamicReorderer, ReorderEvent
+from repro.rabbit.eager import community_detection_eager
+from repro.rabbit.order import (
+    RabbitResult,
+    ordering_generation_par,
+    ordering_generation_seq,
+    rabbit_order,
+)
+from repro.rabbit.par import ParallelDetectionResult, community_detection_par
+from repro.rabbit.seq import community_detection_seq
+
+__all__ = [
+    "rabbit_order",
+    "RabbitResult",
+    "RabbitStats",
+    "AggregationState",
+    "community_detection_seq",
+    "community_detection_par",
+    "community_detection_eager",
+    "DynamicReorderer",
+    "ReorderEvent",
+    "ParallelDetectionResult",
+    "ordering_generation_seq",
+    "ordering_generation_par",
+]

@@ -1,0 +1,157 @@
+"""Shared machinery for Rabbit Order's incremental aggregation.
+
+Both the sequential and the parallel variants keep the same state:
+
+* ``dest[v]`` — the community vertex ``v`` currently belongs to (itself if
+  unmerged / top-level).  Chains of merges are traced with path
+  compression, exactly Algorithm 4 lines 4–5.
+* ``adj`` — per-vertex *aggregated* adjacency.  ``adj[v] is None`` means
+  ``v`` has never been processed and its edges are its raw CSR row;
+  otherwise ``adj[v]`` is the dict of community-level edges computed when
+  ``v`` was processed (lazy aggregation: the dict endpoints were resolved
+  at that time and are re-resolved through ``dest`` whenever read).
+* the self-loop of an aggregated vertex is stored under its own key with
+  the paper's *doubled* weight convention (``2*w_uv + w_uu + w_vv``), which
+  makes community degrees additive.
+
+The aggregation step below is Algorithm 4: gather the edges of ``u`` and
+its direct children (each child's subtree is already folded into that
+child's dict — it was aggregated when the child merged), re-resolve
+endpoints, and fold internal edges into the self-loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.community.dendrogram import NO_VERTEX
+from repro.graph.csr import CSRGraph
+
+__all__ = ["AggregationState", "RabbitStats", "trace_dest", "aggregate_vertex"]
+
+
+@dataclass
+class RabbitStats:
+    """Instrumentation for the cost model and the evaluation tables."""
+
+    edges_scanned: int = 0  # total adjacency items folded (work units)
+    merges: int = 0
+    toplevels: int = 0
+    retries: int = 0
+    vertex_work: np.ndarray | None = None  # per-vertex edges scanned
+
+    def merge_from(self, other: "RabbitStats") -> None:
+        self.edges_scanned += other.edges_scanned
+        self.merges += other.merges
+        self.toplevels += other.toplevels
+        self.retries += other.retries
+
+
+@dataclass
+class AggregationState:
+    """Mutable state shared by the aggregation workers."""
+
+    graph: CSRGraph
+    dest: np.ndarray
+    child: np.ndarray
+    sibling: np.ndarray
+    adj: list  # list[dict[int, float] | None]
+    total_weight: float  # m of the initial graph (Eq. 1 denominator)
+
+    @classmethod
+    def initialize(cls, graph: CSRGraph) -> "AggregationState":
+        n = graph.num_vertices
+        return cls(
+            graph=graph,
+            dest=np.arange(n, dtype=np.int64),
+            child=np.full(n, NO_VERTEX, dtype=np.int64),
+            sibling=np.full(n, NO_VERTEX, dtype=np.int64),
+            adj=[None] * n,
+            total_weight=graph.total_edge_weight(),
+        )
+
+
+def trace_dest(dest: np.ndarray, v: int) -> int:
+    """Find the current community of *v*, compressing the path
+    (Algorithm 4 lines 4–5)."""
+    while True:
+        d = dest[v]
+        dd = dest[d]
+        if d == dd:
+            return int(d)
+        dest[v] = dd
+        v = int(dd)
+
+
+def _iter_vertex_edges(state: AggregationState, s: int, *, raw: bool = False):
+    """Yield ``(endpoint, weight)`` items of vertex *s*'s edge set.
+
+    ``raw=True`` forces the CSR row even when an aggregated dict exists —
+    required for the vertex currently being processed: a failed merge
+    leaves its previous aggregate in ``adj``, and re-reading that dict
+    while also re-folding the children would double-count every edge
+    once per retry (inflating w_uv and cascading into over-merges).
+
+    Raw CSR self-loops are yielded with doubled weight so that the
+    aggregated self-loop convention holds from the start.
+    """
+    if not raw:
+        stored = state.adj[s]
+        if stored is not None:
+            yield from stored.items()
+            return
+    g = state.graph
+    lo, hi = int(g.indptr[s]), int(g.indptr[s + 1])
+    idx = g.indices
+    if g.weights is None:
+        for k in range(lo, hi):
+            t = int(idx[k])
+            yield t, 2.0 if t == s else 1.0
+    else:
+        w = g.weights
+        for k in range(lo, hi):
+            t = int(idx[k])
+            ww = float(w[k])
+            yield t, 2.0 * ww if t == s else ww
+
+
+def aggregate_vertex(
+    state: AggregationState, u: int, stats: RabbitStats
+) -> dict[int, float]:
+    """Fold the edges of *u*'s community into a community-level adjacency.
+
+    Returns the dict mapping each neighbouring community ``v`` (a current
+    top-level vertex, ``v != u``) to the total inter-community weight
+    ``w_uv``; the community self-loop is stored under key ``u``.  The
+    result is also installed as ``state.adj[u]`` (Algorithm 4 line 9:
+    aggregated edges are reattached to ``u``).
+    """
+    dest = state.dest
+    acc: dict[int, float] = {}
+    loop = 0.0
+    scanned = 0
+    # Members = u plus direct children; each child's dict already covers
+    # its whole subtree (it was aggregated when the child merged).
+    member = int(u)
+    members = [member]
+    c = int(state.child[u])
+    while c != NO_VERTEX:
+        members.append(c)
+        c = int(state.sibling[c])
+    for s in members:
+        for t, w in _iter_vertex_edges(state, s, raw=(s == member)):
+            scanned += 1
+            v = trace_dest(dest, t)
+            if v == u:
+                loop += w
+            else:
+                acc[v] = acc.get(v, 0.0) + w
+    stats.edges_scanned += scanned
+    if stats.vertex_work is not None:
+        stats.vertex_work[u] += scanned
+    result = dict(acc)
+    result[u] = loop
+    state.adj[u] = result
+    return acc

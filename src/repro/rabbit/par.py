@@ -1,0 +1,256 @@
+"""Parallel Rabbit Order community detection (Algorithm 3).
+
+The worker logic is one generator per vertex chunk; yields mark the
+scheduling points that bracket atomic operations, so the same code runs
+
+* under :class:`~repro.parallel.scheduler.InterleavingScheduler` —
+  deterministic, seed-replayable exploration of interleavings (tests), and
+* under :class:`~repro.parallel.scheduler.ThreadedRunner` — real threads
+  with sharded-lock atomics (conflicts genuinely occur; CPython's GIL
+  caps throughput, which is why scalability is *projected* from the
+  contention counters by :mod:`repro.parallel.costmodel`).
+
+Faithfulness notes relative to the paper's pseudocode:
+
+* ``atom[u] = (degree, child)`` is :class:`AtomicPairArray`; invalidation
+  uses ``INVALID_DEGREE`` for ``UINT64_MAX``.
+* Algorithm 3 line 16's validity test is implemented as "destination must
+  be *valid* to register" (the transcribed pseudocode's comparison is
+  inverted relative to the prose; the prose is authoritative).
+* Neighbours whose degree is invalidated while we evaluate ΔQ cannot be
+  scored; if one exists and nothing valid is mergeable we roll back and
+  retry (the paper's line 25), with a retry cap after which the vertex is
+  decided from valid neighbours only — this bounds livelock between
+  mutually-retrying vertices, a case the paper leaves unspecified.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.community.dendrogram import NO_VERTEX, Dendrogram
+from repro.community.modularity import newman_degrees
+from repro.graph.csr import CSRGraph
+from repro.graph.validate import require_symmetric
+from repro.parallel.atomics import INVALID_DEGREE, AtomicPairArray, OpCounter
+from repro.parallel.scheduler import InterleavingScheduler, ThreadedRunner
+from repro.rabbit.common import AggregationState, RabbitStats, aggregate_vertex
+
+__all__ = ["community_detection_par", "ParallelDetectionResult"]
+
+
+class ParallelDetectionResult:
+    """Dendrogram plus instrumentation from a parallel detection run."""
+
+    def __init__(
+        self,
+        dendrogram: Dendrogram,
+        stats: RabbitStats,
+        op_counter: OpCounter,
+        num_workers: int,
+        worker_work: np.ndarray,
+    ):
+        self.dendrogram = dendrogram
+        self.stats = stats
+        self.op_counter = op_counter
+        self.num_workers = num_workers
+        #: edges folded by each worker (load-balance signal for the model)
+        self.worker_work = worker_work
+
+
+def _worker(
+    state: AggregationState,
+    atoms: AtomicPairArray,
+    chunk: np.ndarray,
+    toplevel_sink: list[int],
+    stats: RabbitStats,
+    *,
+    merge_threshold: float,
+    max_attempts: int,
+):
+    """Process one chunk of vertices; a generator yielding at scheduling
+    points (see module docstring)."""
+    m = state.total_weight
+    two_m = 2.0 * m
+    dest = state.dest
+    sibling = state.sibling
+    pending: deque[tuple[int, int]] = deque((int(u), 0) for u in chunk)
+    while pending:
+        u, attempts = pending.popleft()
+        yield
+        degree_u = atoms.swap_degree(u, INVALID_DEGREE)  # invalidate u (line 9)
+        yield
+        neighbors = aggregate_vertex(state, u, stats)
+        # Score neighbours with valid (finite) community degrees.
+        best_v = -1
+        best_dq = -np.inf
+        # Upper bound on the gain any currently-invalidated neighbour
+        # could still offer (its degree is unreadable; dq <= 2*w/(2m)).
+        invalid_bound = -np.inf
+        saw_invalid = False
+        penalty = degree_u / (two_m * two_m)
+        inv_2m = 1.0 / two_m
+        for v, w in neighbors.items():
+            yield
+            d_v = atoms.load_degree(v)
+            if d_v == INVALID_DEGREE:
+                saw_invalid = True
+                bound = 2.0 * w * inv_2m
+                if bound > invalid_bound:
+                    invalid_bound = bound
+                continue
+            dq = 2.0 * (w * inv_2m - d_v * penalty)
+            if dq > best_dq:
+                best_dq = dq
+                best_v = v
+        mergeable = best_v >= 0 and best_dq > merge_threshold
+        if not mergeable:
+            if saw_invalid and attempts < max_attempts:
+                # A busy neighbour might still be the right destination:
+                # roll back and retry the whole merge later (line 25).
+                atoms.store_degree(u, degree_u)
+                stats.retries += 1
+                pending.append((u, attempts + 1))
+                continue
+            atoms.store_degree(u, degree_u)  # restore (line 12)
+            toplevel_sink.append(u)
+            stats.toplevels += 1
+            continue
+        yield
+        d_v, child_v = atoms.load(best_v)  # line 15
+        if d_v == INVALID_DEGREE:  # line 16: destination busy
+            atoms.store_degree(u, degree_u)
+            stats.retries += 1
+            if attempts < max_attempts:
+                pending.append((u, attempts + 1))
+            else:
+                toplevel_sink.append(u)
+                stats.toplevels += 1
+            continue
+        sibling[u] = child_v  # line 17
+        yield
+        if atoms.cas(best_v, (d_v, child_v), (d_v + degree_u, u)):  # lines 18-20
+            dest[u] = best_v  # line 21; u stays invalidated forever
+            stats.merges += 1
+            continue
+        # CAS failed: roll back and retry later (lines 23-25).
+        sibling[u] = NO_VERTEX
+        atoms.store_degree(u, degree_u)
+        stats.retries += 1
+        if attempts < max_attempts:
+            pending.append((u, attempts + 1))
+        else:
+            toplevel_sink.append(u)
+            stats.toplevels += 1
+
+
+def community_detection_par(
+    graph: CSRGraph,
+    *,
+    num_threads: int = 4,
+    scheduler_seed: int | None = None,
+    chunk_size: int | None = None,
+    merge_threshold: float = 0.0,
+    max_attempts: int = 100,
+    collect_vertex_work: bool = False,
+) -> ParallelDetectionResult:
+    """Parallel incremental aggregation (Algorithm 3).
+
+    Parameters
+    ----------
+    num_threads:
+        worker threads for the real-thread executor.
+    scheduler_seed:
+        if not ``None``, run under the deterministic interleaving
+        scheduler instead of real threads (single OS thread, replayable).
+    chunk_size:
+        vertices per worker task; defaults to an even split into
+        ``4 * num_threads`` chunks (dynamic scheduling smooths imbalance).
+    """
+    require_symmetric(graph, "Rabbit Order")
+    n = graph.num_vertices
+    if graph.total_edge_weight() <= 0.0:
+        stats = RabbitStats(toplevels=n)
+        dendrogram = Dendrogram(
+            child=np.full(n, NO_VERTEX, dtype=np.int64),
+            sibling=np.full(n, NO_VERTEX, dtype=np.int64),
+            toplevel=np.arange(n, dtype=np.int64),
+        )
+        return ParallelDetectionResult(
+            dendrogram=dendrogram,
+            stats=stats,
+            op_counter=OpCounter(),
+            num_workers=0,
+            worker_work=np.zeros(0, dtype=np.int64),
+        )
+    state = AggregationState.initialize(graph)
+    counter = OpCounter()
+    atoms = AtomicPairArray(newman_degrees(graph), counter)
+    # Aggregation must see children the instant their CAS lands, exactly as
+    # the paper's single 16-byte record guarantees: alias the dendrogram
+    # child links to the atomic array's storage.
+    state.child = atoms.children_view()
+    order = np.argsort(graph.degrees(), kind="stable")
+    if chunk_size is None:
+        # Fine-grained dynamic chunks keep the in-flight vertices close
+        # together in the degree-sorted order (the paper's threads pull
+        # individual vertices): a wide per-thread degree window measurably
+        # hurts community quality.
+        chunk_size = max(1, min(32, -(-n // max(1, 8 * num_threads))))
+    chunks = [order[i : i + chunk_size] for i in range(0, n, chunk_size)]
+
+    per_chunk_stats = [RabbitStats() for _ in chunks]
+    per_chunk_toplevel: list[list[int]] = [[] for _ in chunks]
+    if collect_vertex_work:
+        for s in per_chunk_stats:
+            s.vertex_work = np.zeros(n, dtype=np.int64)
+    tasks = [
+        _worker(
+            state,
+            atoms,
+            chunk,
+            per_chunk_toplevel[i],
+            per_chunk_stats[i],
+            merge_threshold=merge_threshold,
+            max_attempts=max_attempts,
+        )
+        for i, chunk in enumerate(chunks)
+    ]
+    if scheduler_seed is not None:
+        # Window = thread count: the scheduler models num_threads hardware
+        # threads, each advancing one task, admitted in degree order.
+        InterleavingScheduler(seed=scheduler_seed).run(
+            tasks, window=num_threads
+        )
+    else:
+        ThreadedRunner(num_threads).run(tasks)
+
+    stats = RabbitStats()
+    if collect_vertex_work:
+        stats.vertex_work = np.zeros(n, dtype=np.int64)
+    worker_work = np.zeros(len(chunks), dtype=np.int64)
+    for i, s in enumerate(per_chunk_stats):
+        stats.merge_from(s)
+        worker_work[i] = s.edges_scanned
+        if collect_vertex_work and s.vertex_work is not None:
+            stats.vertex_work += s.vertex_work
+    toplevel = np.array(
+        [u for sink in per_chunk_toplevel for u in sink], dtype=np.int64
+    )
+    # The dendrogram's child links live in atoms (authoritative) and were
+    # mirrored into state.child on every successful CAS; use the atomic
+    # array's view, which is exact once workers have quiesced.
+    dendrogram = Dendrogram(
+        child=atoms.children_view().copy(),
+        sibling=state.sibling.copy(),
+        toplevel=toplevel,
+    )
+    return ParallelDetectionResult(
+        dendrogram=dendrogram,
+        stats=stats,
+        op_counter=counter,
+        num_workers=len(chunks),
+        worker_work=worker_work,
+    )

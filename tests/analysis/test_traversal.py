@@ -1,0 +1,122 @@
+"""BFS and DFS."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.traversal import UNREACHED, bfs, bfs_forest, dfs, dfs_forest
+from repro.errors import GraphFormatError
+from repro.graph import CSRGraph
+from repro.graph.generators import erdos_renyi_graph, rmat_graph
+from tests.conftest import to_networkx
+
+
+class TestBFS:
+    def test_levels_match_networkx(self):
+        import networkx as nx
+
+        g = rmat_graph(7, rng=2)
+        r = bfs(g, 0)
+        sp = nx.single_source_shortest_path_length(to_networkx(g), 0)
+        for v, d in sp.items():
+            assert r.level[v] == d
+        assert r.num_reached == len(sp)
+
+    def test_unreached_marked(self):
+        g = CSRGraph.from_edges([0, 2], [1, 3])
+        r = bfs(g, 0)
+        assert r.level[2] == UNREACHED and r.level[3] == UNREACHED
+        assert r.parent[2] == UNREACHED
+
+    def test_parent_is_one_level_up(self):
+        g = rmat_graph(6, rng=4)
+        r = bfs(g, 0)
+        for v in r.order[1:]:
+            p = r.parent[v]
+            assert r.level[v] == r.level[p] + 1
+            assert g.has_edge(int(p), int(v))
+
+    def test_order_is_level_monotone(self):
+        g = rmat_graph(6, rng=1)
+        r = bfs(g, 0)
+        levels = r.level[r.order]
+        assert np.all(np.diff(levels) >= 0)
+
+    def test_sorted_neighbors_orders_levels_by_degree(self):
+        # Star plus chain: level 1 of the star's BFS sorted by degree.
+        g = CSRGraph.from_edges([0, 0, 0, 1], [1, 2, 3, 4])
+        r = bfs(g, 0, sorted_neighbors=True)
+        lvl1 = [v for v in r.order if r.level[v] == 1]
+        degs = g.degrees()[lvl1]
+        assert np.all(np.diff(degs) >= 0)
+
+    def test_eccentricity_path(self):
+        n = 12
+        g = CSRGraph.from_edges(np.arange(n - 1), np.arange(1, n))
+        assert bfs(g, 0).eccentricity == n - 1
+        assert bfs(g, n // 2).eccentricity == max(n // 2, n - 1 - n // 2)
+
+    def test_single_vertex(self):
+        r = bfs(CSRGraph.empty(1), 0)
+        assert r.order.tolist() == [0]
+        assert r.eccentricity == 0
+
+    def test_invalid_source(self):
+        with pytest.raises(GraphFormatError):
+            bfs(CSRGraph.empty(2), 5)
+
+    def test_forest_covers_all(self):
+        g = CSRGraph.from_edges([0, 2, 4], [1, 3, 5])
+        r = bfs_forest(g)
+        assert sorted(r.order.tolist()) == list(range(6))
+        assert np.all(r.level >= 0)
+
+
+class TestDFS:
+    def test_discovery_order_is_depth_first(self):
+        # Path graph: DFS from 0 runs straight down.
+        n = 8
+        g = CSRGraph.from_edges(np.arange(n - 1), np.arange(1, n))
+        r = dfs(g, 0)
+        assert r.order.tolist() == list(range(n))
+
+    def test_timestamps_nest(self):
+        g = rmat_graph(6, rng=5)
+        r = dfs(g, 0)
+        reached = r.order
+        # Parenthesis property: intervals either nest or are disjoint.
+        intervals = sorted(
+            (int(r.discovered[v]), int(r.finished[v])) for v in reached
+        )
+        stack = []
+        for d, f in intervals:
+            while stack and stack[-1] < d:
+                stack.pop()
+            for open_f in stack:
+                assert f < open_f  # nested
+            stack.append(f)
+
+    def test_discovered_before_finished(self):
+        g = rmat_graph(6, rng=6)
+        r = dfs(g, 0)
+        for v in r.order:
+            assert r.discovered[v] < r.finished[v]
+
+    def test_unreached(self):
+        g = CSRGraph.from_edges([0, 2], [1, 3])
+        r = dfs(g, 0)
+        assert r.discovered[2] == UNREACHED
+
+    def test_forest_covers_all(self):
+        g = CSRGraph.from_edges([0, 2, 4], [1, 3, 5])
+        r = dfs_forest(g)
+        assert sorted(r.order.tolist()) == list(range(6))
+
+    def test_deep_path_no_recursion_error(self):
+        n = 50_000
+        g = CSRGraph.from_edges(np.arange(n - 1), np.arange(1, n))
+        r = dfs(g, 0)
+        assert r.order.size == n
+
+    def test_invalid_source(self):
+        with pytest.raises(GraphFormatError):
+            dfs(CSRGraph.empty(1), -1)

@@ -1,0 +1,69 @@
+"""Cache/machine configuration validation."""
+
+import pytest
+
+from repro.cache import CacheConfig, MachineConfig, paper_machine, scaled_machine
+from repro.errors import CacheConfigError
+
+
+class TestCacheConfig:
+    def test_derived_quantities(self):
+        c = CacheConfig("L1", 32 * 1024, 64, 8, hit_latency=4.0)
+        assert c.num_sets == 64
+        assert c.num_lines == 512
+
+    def test_line_size_power_of_two(self):
+        with pytest.raises(CacheConfigError, match="power of two"):
+            CacheConfig("bad", 1024, 48, 4, 1.0)
+
+    def test_capacity_divisibility(self):
+        with pytest.raises(CacheConfigError, match="multiple"):
+            CacheConfig("bad", 1000, 64, 4, 1.0)
+
+    def test_associativity_positive(self):
+        with pytest.raises(CacheConfigError, match="associativity"):
+            CacheConfig("bad", 1024, 64, 0, 1.0)
+
+    def test_sets_power_of_two(self):
+        with pytest.raises(CacheConfigError, match="sets"):
+            CacheConfig("bad", 3 * 64 * 4, 64, 4, 1.0)
+
+    def test_fully_associative_allowed(self):
+        c = CacheConfig("fa", 1024, 64, 16, 1.0)
+        assert c.num_sets == 1
+
+
+class TestMachineConfig:
+    def test_paper_machine_shape(self):
+        m = paper_machine()
+        assert [lv.name for lv in m.levels] == ["L1", "L2", "L3"]
+        assert m.line_bytes == 64
+        assert m.page_bytes == 4096
+        assert m.levels[0].capacity_bytes == 32 * 1024
+
+    def test_scaled_machine_preserves_shape(self):
+        s, p = scaled_machine(), paper_machine()
+        for a, b in zip(s.levels, p.levels):
+            assert a.name == b.name
+            assert a.hit_latency == b.hit_latency
+        # Capacity ratios between levels roughly preserved.
+        assert s.levels[1].capacity_bytes // s.levels[0].capacity_bytes == 8
+
+    def test_levels_must_grow(self):
+        l1 = CacheConfig("L1", 2048, 64, 4, 1.0)
+        l2 = CacheConfig("L2", 1024, 64, 4, 2.0)
+        tlb = CacheConfig("TLB", 4096, 256, 4, 0.0)
+        with pytest.raises(CacheConfigError, match="grow"):
+            MachineConfig("m", (l1, l2), tlb, 100.0, 10.0)
+
+    def test_line_sizes_must_match(self):
+        l1 = CacheConfig("L1", 1024, 32, 4, 1.0)
+        l2 = CacheConfig("L2", 2048, 64, 4, 2.0)
+        tlb = CacheConfig("TLB", 4096, 256, 4, 0.0)
+        with pytest.raises(CacheConfigError, match="line size"):
+            MachineConfig("m", (l1, l2), tlb, 100.0, 10.0)
+
+    def test_needs_a_level(self):
+        tlb = CacheConfig("TLB", 4096, 256, 4, 0.0)
+        with pytest.raises(CacheConfigError, match="at least one"):
+            MachineConfig("m", (), tlb, 100.0, 10.0)

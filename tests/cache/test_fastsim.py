@@ -1,0 +1,67 @@
+"""Vectorised direct-mapped simulator vs the reference LRU model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig, SetAssociativeLRU
+from repro.cache.fastsim import direct_mapped_miss_mask, direct_mapped_misses
+from repro.errors import CacheConfigError
+
+
+def dm_config(sets=4, line=64):
+    return CacheConfig("dm", sets * line, line, 1, 1.0)
+
+
+class TestDirectMapped:
+    def test_requires_assoc_one(self):
+        cfg = CacheConfig("a2", 512, 64, 2, 1.0)
+        with pytest.raises(CacheConfigError):
+            direct_mapped_miss_mask(np.array([0]), cfg)
+
+    def test_empty_trace(self):
+        assert direct_mapped_misses(np.empty(0, dtype=np.int64), dm_config()) == 0
+
+    def test_known_sequence(self):
+        # 2 sets: lines 0,2 -> set 0; 1 -> set 1.
+        cfg = dm_config(sets=2)
+        lines = np.array([0, 2, 0, 1, 1])
+        mask = direct_mapped_miss_mask(lines, cfg)
+        # 0 cold, 2 evicts 0, 0 evicts 2, 1 cold, 1 hit.
+        assert mask.tolist() == [True, True, True, True, False]
+
+    def test_single_set(self):
+        cfg = dm_config(sets=1)
+        lines = np.array([5, 5, 7, 5])
+        assert direct_mapped_misses(lines, cfg) == 3
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 40), min_size=1, max_size=300),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_matches_reference_lru_simulator(self, lines, sets):
+        """Direct-mapped LRU is a degenerate LRU: the vectorised path must
+        agree with the general simulator access by access."""
+        cfg = dm_config(sets=sets)
+        arr = np.array(lines)
+        fast = direct_mapped_misses(arr, cfg)
+        slow = SetAssociativeLRU(cfg).simulate(arr).misses
+        assert fast == slow
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 60), min_size=1, max_size=200))
+    def test_mask_count_consistent(self, lines):
+        cfg = dm_config(sets=8)
+        arr = np.array(lines)
+        mask = direct_mapped_miss_mask(arr, cfg)
+        assert int(mask.sum()) == direct_mapped_misses(arr, cfg)
+        # First occurrence of every line is always a miss.
+        first = np.zeros(arr.size, dtype=bool)
+        seen = set()
+        for i, ln in enumerate(lines):
+            if ln not in seen:
+                first[i] = True
+                seen.add(ln)
+        assert np.all(mask[first])

@@ -1,0 +1,158 @@
+"""Multi-level simulation, traces and the cycle cost model."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    STREAM_OVERLAP,
+    CacheConfig,
+    MachineConfig,
+    cycles_of_sim,
+    scaled_machine,
+    simulate_element_stream,
+    simulate_spmv,
+    spmv_iteration_cycles,
+    spmv_stream_footprints,
+    spmv_x_stream,
+)
+from repro.graph import CSRGraph, random_permutation
+from repro.graph.generators import hierarchical_community_graph
+
+
+def tiny_machine() -> MachineConfig:
+    return MachineConfig(
+        name="tiny",
+        levels=(
+            CacheConfig("L1", 256, 32, 2, hit_latency=1.0),
+            CacheConfig("L2", 1024, 32, 4, hit_latency=4.0),
+        ),
+        tlb=CacheConfig("TLB", 4 * 128, 128, 2, hit_latency=0.0),
+        memory_latency=50.0,
+        tlb_miss_penalty=10.0,
+    )
+
+
+class TestElementStream:
+    def test_levels_filter_misses(self):
+        m = tiny_machine()
+        idx = np.arange(64, dtype=np.int64)  # 64 elements * 8B = 512B
+        levels, tlb = simulate_element_stream(np.tile(idx, 3), m, warm=False)
+        l1, l2 = levels
+        assert l2.accesses == l1.misses
+        assert l2.misses <= l1.misses
+
+    def test_warm_small_working_set_all_hits(self):
+        m = tiny_machine()
+        idx = np.arange(4, dtype=np.int64)  # 32B, fits L1
+        levels, tlb = simulate_element_stream(np.tile(idx, 5), m, warm=True)
+        assert levels[0].misses == 0
+        assert tlb.misses == 0
+
+    def test_cold_pass_misses_compulsory(self):
+        m = tiny_machine()
+        idx = np.arange(8, dtype=np.int64)  # 2 lines of 32B
+        levels, _ = simulate_element_stream(idx, m, warm=False)
+        assert levels[0].misses == 2
+
+    def test_random_stream_worse_than_sequential(self):
+        m = tiny_machine()
+        rng = np.random.default_rng(0)
+        seq = np.tile(np.arange(512, dtype=np.int64), 2)
+        rand = rng.integers(0, 512, size=1024)
+        seq_l, _ = simulate_element_stream(seq, m, warm=False)
+        rand_l, _ = simulate_element_stream(rand, m, warm=False)
+        # Sequential has 4 elements/line reuse; random mostly does not.
+        assert seq_l[0].misses < rand_l[0].misses
+
+
+class TestSpmvSim:
+    def test_combined_equals_x_plus_streams(self, paper_graph):
+        m = tiny_machine()
+        sim = simulate_spmv(paper_graph, m)
+        for lv, xl, sl in zip(sim.levels, sim.x_levels, sim.stream_levels):
+            assert lv.misses == xl.misses + sl.misses
+            assert lv.accesses == xl.accesses + sl.accesses
+
+    def test_x_accesses_equal_slot_count(self, paper_graph):
+        sim = simulate_spmv(paper_graph, tiny_machine())
+        assert sim.x_levels[0].accesses == paper_graph.num_edges
+
+    def test_include_streams_false(self, paper_graph):
+        sim = simulate_spmv(paper_graph, tiny_machine(), include_streams=False)
+        assert sim.stream_levels == ()
+        assert sim.levels == sim.x_levels
+
+    def test_misses_by_level_keys(self, paper_graph):
+        sim = simulate_spmv(paper_graph, scaled_machine())
+        assert set(sim.misses_by_level()) == {"L1", "L2", "L3", "TLB"}
+
+    def test_level_lookup(self, paper_graph):
+        sim = simulate_spmv(paper_graph, scaled_machine())
+        assert sim.level("L2").name == "L2"
+        assert sim.level("TLB") is sim.tlb
+        with pytest.raises(KeyError):
+            sim.level("L9")
+
+    def test_locality_ordering_reduces_misses(self):
+        """The headline effect: a Rabbit ordering must cut simulated x
+        misses versus random on a community graph too big for cache."""
+        from repro.rabbit import rabbit_order
+
+        g = hierarchical_community_graph(3000, rng=1).graph
+        base = g.permute(random_permutation(3000, rng=0))
+        m = scaled_machine()
+        res = rabbit_order(base)
+        better = base.permute(res.permutation)
+        miss_base = simulate_spmv(base, m).x_levels[0].misses
+        miss_rabbit = simulate_spmv(better, m).x_levels[0].misses
+        assert miss_rabbit < miss_base
+
+
+class TestTrace:
+    def test_x_stream_is_indices(self, paper_graph):
+        assert np.array_equal(spmv_x_stream(paper_graph), paper_graph.indices)
+
+    def test_footprints_unweighted(self, paper_graph_unweighted):
+        fps = spmv_stream_footprints(paper_graph_unweighted, scaled_machine())
+        assert {fp.name for fp in fps} == {"indptr", "indices", "y"}
+
+    def test_footprints_weighted(self, paper_graph):
+        fps = spmv_stream_footprints(paper_graph, scaled_machine())
+        assert {fp.name for fp in fps} == {"indptr", "indices", "y", "values"}
+
+
+class TestCostModel:
+    def test_cycles_positive_and_monotone_in_misses(self, paper_graph):
+        m = scaled_machine()
+        sim = simulate_spmv(paper_graph, m)
+        base = cycles_of_sim(sim)
+        assert base > 0
+        assert cycles_of_sim(sim, compute_ops=1000) == pytest.approx(base + 1000)
+
+    def test_stream_misses_discounted(self):
+        """The same miss counts cost less when attributed to streams."""
+        from repro.cache.hierarchy import CacheSimResult, LevelStats
+
+        m = tiny_machine()
+        lv = (LevelStats("L1", 100, 50), LevelStats("L2", 50, 50))
+        tlb = LevelStats("TLB", 100, 10)
+        as_x = CacheSimResult(
+            machine=m, levels=lv, tlb=tlb,
+            x_levels=lv, stream_levels=(LevelStats("L1", 0, 0), LevelStats("L2", 0, 0)),
+            x_tlb=tlb, stream_tlb=LevelStats("TLB", 0, 0),
+        )
+        as_stream = CacheSimResult(
+            machine=m, levels=lv, tlb=tlb,
+            x_levels=(LevelStats("L1", 0, 0), LevelStats("L2", 0, 0)),
+            stream_levels=lv,
+            x_tlb=LevelStats("TLB", 0, 0), stream_tlb=tlb,
+        )
+        assert cycles_of_sim(as_stream) < cycles_of_sim(as_x)
+        assert STREAM_OVERLAP < 1.0
+
+    def test_pagerank_cost_scales_with_iterations(self, paper_graph):
+        m = scaled_machine()
+        c1 = spmv_iteration_cycles(paper_graph, m, iterations=1)
+        c10 = spmv_iteration_cycles(paper_graph, m, iterations=10)
+        assert c10.total_cycles == pytest.approx(10 * c1.total_cycles)
+        assert c10.cycles_per_iteration == pytest.approx(c1.cycles_per_iteration)

@@ -1,0 +1,127 @@
+"""Exact LRU set-associative cache simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig, SetAssociativeLRU
+
+
+def cache(capacity=256, line=64, assoc=4):
+    return SetAssociativeLRU(CacheConfig("t", capacity, line, assoc, 1.0))
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = cache()
+        r1 = c.simulate(np.array([5]))
+        r2 = c.simulate(np.array([5]))
+        assert r1.misses == 1 and r2.misses == 0
+        assert r2.hits == 1
+
+    def test_miss_lines_recorded_in_order(self):
+        c = cache()
+        r = c.simulate(np.array([1, 2, 1, 3]))
+        assert r.miss_lines.tolist() == [1, 2, 3]
+
+    def test_miss_rate(self):
+        c = cache()
+        r = c.simulate(np.array([1, 2, 1, 2]))
+        assert r.miss_rate == 0.5
+
+    def test_reset_clears_state(self):
+        c = cache()
+        c.simulate(np.array([9]))
+        c.reset()
+        assert c.simulate(np.array([9])).misses == 1
+
+    def test_empty_stream(self):
+        r = cache().simulate(np.empty(0, dtype=np.int64))
+        assert r.accesses == 0 and r.misses == 0
+        assert r.miss_rate == 0.0
+
+    def test_record_misses_off(self):
+        r = cache().simulate(np.array([1, 2, 3]), record_misses=False)
+        assert r.misses == 3
+        assert r.miss_lines.size == 0
+
+
+class TestLRUSemantics:
+    def test_eviction_order_is_lru(self):
+        # Fully associative, 2 ways: [1, 2] then touch 1, insert 3 -> 2 evicted.
+        c = cache(capacity=128, line=64, assoc=2)
+        c.simulate(np.array([0, 1, 0, 2]))  # lines map to the single set
+        r = c.simulate(np.array([0]))  # 0 was MRU -> still resident
+        assert r.misses == 0
+        r = c.simulate(np.array([1]))  # 1 was LRU -> evicted by 2
+        assert r.misses == 1
+
+    def test_stack_distance_boundary(self):
+        """assoc distinct lines reuse = hit; assoc+1 = miss (same set)."""
+        assoc = 4
+        c = cache(capacity=64 * assoc, line=64, assoc=assoc)  # 1 set
+        lines = np.array([0, 1, 2, 3, 0])  # distance 4 within 4 ways
+        assert c.simulate(lines).misses == 4  # final 0 hits
+        c.reset()
+        lines = np.array([0, 1, 2, 3, 4, 0])  # 0 evicted before reuse
+        assert c.simulate(lines).misses == 6
+
+    def test_set_isolation(self):
+        # 2 sets: even lines -> set 0, odd -> set 1; they don't interfere.
+        c = cache(capacity=2 * 64 * 2, line=64, assoc=2)
+        r = c.simulate(np.array([0, 2, 4, 1, 0]))
+        # Set 0 saw 0,2,4 (0 evicted); final 0 misses. 1 misses cold.
+        assert r.misses == 5
+
+    def test_direct_mapped_conflict(self):
+        c = cache(capacity=2 * 64, line=64, assoc=1)  # 2 sets, 1 way
+        r = c.simulate(np.array([0, 2, 0, 2]))  # same set, ping-pong
+        assert r.misses == 4
+
+    def test_contents_bounded_by_capacity(self):
+        c = cache(capacity=256, line=64, assoc=4)  # 4 lines total
+        c.simulate(np.arange(100))
+        assert len(c.contents()) <= 4
+
+
+class TestHypothesis:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=200),
+        st.sampled_from([1, 2, 4]),
+    )
+    def test_bigger_cache_never_misses_more(self, lines, assoc):
+        """LRU inclusion property: doubling capacity (same assoc ratio)
+        cannot increase misses for the same trace."""
+        small = cache(capacity=64 * 2 * assoc, line=64, assoc=assoc)
+        big = cache(capacity=64 * 8 * assoc, line=64, assoc=assoc)
+        arr = np.array(lines)
+        assert big.simulate(arr).misses <= small.simulate(arr).misses
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=200))
+    def test_fully_associative_matches_reference(self, lines):
+        """Cross-check against a straightforward reference LRU model."""
+        assoc = 4
+        c = cache(capacity=64 * assoc, line=64, assoc=assoc)
+        arr = np.array(lines)
+        got = c.simulate(arr).misses
+        resident: list[int] = []
+        expected = 0
+        for ln in lines:
+            if ln in resident:
+                resident.remove(ln)
+            else:
+                expected += 1
+                if len(resident) == assoc:
+                    resident.pop()
+            resident.insert(0, ln)
+        assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 40), min_size=1, max_size=150))
+    def test_misses_at_most_accesses(self, lines):
+        r = cache().simulate(np.array(lines))
+        assert 0 <= r.misses <= r.accesses
+        assert r.misses >= len(set(lines)) - cache().config.num_lines

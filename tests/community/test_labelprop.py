@@ -1,0 +1,74 @@
+"""APM label propagation."""
+
+import numpy as np
+import pytest
+
+from repro.community.labelprop import label_propagation
+from repro.errors import GraphFormatError
+from repro.graph import CSRGraph
+from repro.graph.generators import hierarchical_community_graph
+
+
+class TestLabelPropagation:
+    def test_two_cliques_found(self):
+        # Two triangles joined by one edge.
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+        g = CSRGraph.from_edges([e[0] for e in edges], [e[1] for e in edges])
+        res = label_propagation(g, rng=0, max_iterations=30)
+        labels = res.labels
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+
+    def test_planted_partition_recovered(self):
+        hg = hierarchical_community_graph(
+            300, branching=4, levels=1, p_in=0.5, decay=0.02, rng=3
+        )
+        res = label_propagation(hg.graph, rng=1, max_iterations=30)
+        # Most intra-block pairs should share a label.
+        from repro.community import modularity
+
+        assert modularity(hg.graph, _dense(res.labels)) > 0.4
+
+    def test_gamma_increases_label_count(self):
+        hg = hierarchical_community_graph(300, rng=4)
+        coarse = label_propagation(hg.graph, gamma=0.0, rng=0, max_iterations=20)
+        fine = label_propagation(hg.graph, gamma=2.0, rng=0, max_iterations=20)
+        assert np.unique(fine.labels).size >= np.unique(coarse.labels).size
+
+    def test_isolated_vertices_keep_labels(self):
+        g = CSRGraph.empty(5)
+        res = label_propagation(g, rng=0)
+        assert np.array_equal(res.labels, np.arange(5))
+
+    def test_empty_graph(self):
+        res = label_propagation(CSRGraph.empty(0), rng=0)
+        assert res.labels.size == 0
+        assert res.converged
+
+    def test_init_labels_respected(self):
+        g = CSRGraph.from_edges([0], [1])
+        res = label_propagation(
+            g, init_labels=np.array([1, 1]), max_iterations=2, rng=0
+        )
+        assert res.labels[0] == res.labels[1] == 1
+
+    def test_init_labels_shape_checked(self):
+        g = CSRGraph.from_edges([0], [1])
+        with pytest.raises(GraphFormatError):
+            label_propagation(g, init_labels=np.zeros(5, dtype=np.int64))
+
+    def test_work_counted(self):
+        hg = hierarchical_community_graph(200, rng=5)
+        res = label_propagation(hg.graph, rng=0, max_iterations=5)
+        assert res.work >= hg.graph.num_edges  # at least one full sweep
+
+    def test_deterministic_given_seed(self):
+        hg = hierarchical_community_graph(200, rng=6)
+        a = label_propagation(hg.graph, rng=42, max_iterations=5)
+        b = label_propagation(hg.graph, rng=42, max_iterations=5)
+        assert np.array_equal(a.labels, b.labels)
+
+
+def _dense(labels: np.ndarray) -> np.ndarray:
+    _, dense = np.unique(labels, return_inverse=True)
+    return dense

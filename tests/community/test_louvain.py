@@ -1,0 +1,75 @@
+"""Louvain reference detector."""
+
+import numpy as np
+import pytest
+
+from repro.community import modularity
+from repro.community.louvain import louvain
+from repro.errors import GraphFormatError
+from repro.graph import CSRGraph
+from repro.graph.generators import hierarchical_community_graph
+
+
+class TestLouvain:
+    def test_two_cliques(self):
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+        g = CSRGraph.from_edges([e[0] for e in edges], [e[1] for e in edges])
+        res = louvain(g)
+        labels = res.labels
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_planted_partition_quality(self):
+        hg = hierarchical_community_graph(
+            600, branching=4, levels=2, p_in=0.4, decay=0.05, rng=1
+        )
+        res = louvain(hg.graph)
+        assert modularity(hg.graph, res.labels) > 0.55
+
+    def test_quality_at_least_rabbit(self):
+        """Iterative refinement should match or beat single-pass
+        incremental aggregation on quality (its entire selling point —
+        at a multiple of the work, the §III-B trade-off)."""
+        from repro.rabbit import community_detection_seq
+
+        g = hierarchical_community_graph(500, rng=2).graph
+        q_louvain = modularity(g, louvain(g).labels)
+        d, stats = community_detection_seq(g)
+        q_rabbit = modularity(g, d.community_labels())
+        assert q_louvain >= q_rabbit - 0.02
+
+    def test_does_more_work_than_rabbit(self):
+        from repro.rabbit import community_detection_seq
+
+        g = hierarchical_community_graph(500, rng=3).graph
+        res = louvain(g)
+        _, stats = community_detection_seq(g)
+        assert res.edges_scanned > stats.edges_scanned
+
+    def test_levels_are_nested(self):
+        """Level k's communities refine into level k+1's (coarsening is
+        monotone): vertices sharing a label later must share it earlier
+        in reverse — later levels only merge."""
+        g = hierarchical_community_graph(400, rng=4).graph
+        res = louvain(g)
+        for fine, coarse in zip(res.levels, res.levels[1:]):
+            # Same fine community -> same coarse community.
+            for lab in np.unique(fine):
+                members = np.flatnonzero(fine == lab)
+                assert np.unique(coarse[members]).size == 1
+
+    def test_empty_graph(self):
+        res = louvain(CSRGraph.empty(4))
+        assert np.array_equal(res.labels, np.arange(4))
+
+    def test_deterministic_given_seed(self):
+        g = hierarchical_community_graph(300, rng=5).graph
+        a = louvain(g, rng=7)
+        b = louvain(g, rng=7)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_requires_symmetric(self):
+        g = CSRGraph.from_edges([0], [1], symmetrize=False)
+        with pytest.raises(GraphFormatError):
+            louvain(g)

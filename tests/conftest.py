@@ -1,0 +1,98 @@
+"""Shared fixtures: the paper's running-example graph and a small zoo of
+structurally diverse graphs used by generic contract tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    hierarchical_community_graph,
+    road_lattice_graph,
+    rmat_graph,
+)
+
+#: The weighted graph of the paper's Figure 1(a) / Figure 4.
+PAPER_EDGES = [
+    (0, 2, 1.4),
+    (0, 4, 5.1),
+    (0, 7, 2.6),
+    (1, 3, 8.4),
+    (1, 6, 4.2),
+    (2, 4, 8.0),
+    (2, 7, 9.2),
+    (3, 4, 0.5),
+    (3, 6, 3.1),
+    (4, 6, 1.3),
+    (4, 7, 7.9),
+    (5, 7, 0.7),
+]
+
+#: Ground-truth communities of the paper's example (Figure 1(b)).
+PAPER_COMMUNITIES = ({0, 2, 4, 5, 7}, {1, 3, 6})
+
+
+def make_paper_graph(weighted: bool = True) -> CSRGraph:
+    src = [e[0] for e in PAPER_EDGES]
+    dst = [e[1] for e in PAPER_EDGES]
+    w = [e[2] for e in PAPER_EDGES] if weighted else None
+    return CSRGraph.from_edges(src, dst, weights=w, symmetrize=True)
+
+
+@pytest.fixture
+def paper_graph() -> CSRGraph:
+    return make_paper_graph(weighted=True)
+
+
+@pytest.fixture
+def paper_graph_unweighted() -> CSRGraph:
+    return make_paper_graph(weighted=False)
+
+
+def _graph_zoo() -> dict[str, CSRGraph]:
+    rng = np.random.default_rng(7)
+    zoo = {
+        "empty": CSRGraph.empty(0),
+        "isolated": CSRGraph.empty(5),
+        "single_edge": CSRGraph.from_edges([0], [1]),
+        "self_loop": CSRGraph.from_edges([0, 0], [0, 1]),
+        "triangle": CSRGraph.from_edges([0, 1, 2], [1, 2, 0]),
+        "path": CSRGraph.from_edges(np.arange(9), np.arange(1, 10)),
+        "star": CSRGraph.from_edges(np.zeros(8, dtype=int), np.arange(1, 9)),
+        "two_components": CSRGraph.from_edges([0, 1, 3, 4], [1, 2, 4, 5]),
+        "paper": make_paper_graph(),
+        "er": erdos_renyi_graph(60, 0.1, rng=rng),
+        "rmat": rmat_graph(7, edge_factor=4, rng=rng),
+        "hier": hierarchical_community_graph(200, levels=2, rng=rng).graph,
+        "road": road_lattice_graph(8, 8, rng=rng),
+    }
+    return zoo
+
+
+GRAPH_ZOO = _graph_zoo()
+
+
+@pytest.fixture(params=sorted(GRAPH_ZOO))
+def zoo_graph(request) -> CSRGraph:
+    return GRAPH_ZOO[request.param]
+
+
+@pytest.fixture(
+    params=[k for k, g in sorted(GRAPH_ZOO.items()) if g.num_vertices > 0]
+)
+def nonempty_zoo_graph(request) -> CSRGraph:
+    return GRAPH_ZOO[request.param]
+
+
+def to_networkx(graph: CSRGraph):
+    """Convert to networkx for oracle comparisons (tests only)."""
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(graph.num_vertices))
+    src, dst, w = graph.edge_array()
+    for u, v, ww in zip(src.tolist(), dst.tolist(), w.tolist()):
+        G.add_edge(u, v, weight=ww)
+    return G

@@ -1,0 +1,70 @@
+"""Per-analysis cost models (Figures 11/12 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import scaled_machine
+from repro.experiments.analyses import (
+    ANALYSES,
+    analysis_cycles,
+    row_gather_stream,
+)
+from repro.graph import CSRGraph
+from repro.graph.generators import hierarchical_community_graph
+
+
+class TestRowGatherStream:
+    def test_known_graph(self):
+        g = CSRGraph.from_edges([0, 1], [1, 2])
+        # Rows: 0 -> [1], 1 -> [0, 2], 2 -> [1].
+        stream = row_gather_stream(g, np.array([2, 0, 1]))
+        assert stream.tolist() == [1, 1, 0, 2]
+
+    def test_covers_all_slots(self):
+        g = hierarchical_community_graph(120, rng=1).graph
+        order = np.random.default_rng(0).permutation(g.num_vertices)
+        stream = row_gather_stream(g, order)
+        assert stream.size == g.num_edges
+        assert sorted(stream.tolist()) == sorted(g.indices.tolist())
+
+    def test_empty(self):
+        g = CSRGraph.empty(3)
+        assert row_gather_stream(g, np.arange(3)).size == 0
+
+
+class TestAnalysisSpecs:
+    def test_roster(self):
+        assert [s.name for s in ANALYSES] == [
+            "DFS", "BFS", "SCC", "Diameter", "k-core",
+        ]
+
+    @pytest.mark.parametrize("spec", ANALYSES, ids=lambda s: s.name)
+    def test_cycles_positive(self, spec):
+        g = hierarchical_community_graph(150, rng=2).graph
+        cycles, sim = analysis_cycles(g, spec, scaled_machine())
+        assert cycles > 0
+        assert sim.levels[0].accesses >= g.num_edges
+
+    def test_diameter_costs_more_than_bfs(self):
+        """Multiple sweeps tile the stream: Diameter >= BFS per run."""
+        g = hierarchical_community_graph(200, rng=3).graph
+        m = scaled_machine()
+        by_name = {s.name: s for s in ANALYSES}
+        c_bfs, _ = analysis_cycles(g, by_name["BFS"], m)
+        c_diam, _ = analysis_cycles(g, by_name["Diameter"], m)
+        assert c_diam >= c_bfs
+
+    def test_locality_sensitive(self):
+        """A Rabbit-ordered graph must cost less than random for every
+        analysis model (the Figure 12 premise)."""
+        from repro.graph.perm import random_permutation
+        from repro.rabbit import rabbit_order
+
+        g = hierarchical_community_graph(2000, rng=4).graph
+        base = g.permute(random_permutation(2000, rng=0))
+        better = base.permute(rabbit_order(base).permutation)
+        m = scaled_machine()
+        for spec in ANALYSES:
+            c_rand, _ = analysis_cycles(base, spec, m)
+            c_rab, _ = analysis_cycles(better, spec, m)
+            assert c_rab < c_rand, spec.name

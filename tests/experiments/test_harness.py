@@ -1,0 +1,146 @@
+"""Experiment harness: smoke and shape tests on a tiny configuration.
+
+These assert the *relationships* the paper's figures rest on (who is
+cheaper/faster than whom), not absolute numbers — and only the robust
+ones, to keep the suite deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    clear_sweep_cache,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    table2_table,
+    table4,
+)
+from repro.experiments.analysis_time import analysis_speedups
+from repro.experiments.sweep import baseline_cell, sweep_cell
+
+CFG = ExperimentConfig(scale="tiny", seed=0, datasets=("berkstan", "it-2004"))
+ALGOS = ("Rabbit", "Degree", "LLP")
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_sweep_cache()
+    yield
+
+
+class TestSweep:
+    def test_cells_cached(self):
+        a = sweep_cell("berkstan", "Degree", CFG)
+        b = sweep_cell("berkstan", "Degree", CFG)
+        assert a is b
+
+    def test_baseline_has_no_reorder_cost(self):
+        cell = baseline_cell("berkstan", CFG)
+        assert cell.reorder_cycles == 0.0
+        assert cell.permutation is None
+
+    def test_cell_fields_consistent(self):
+        cell = sweep_cell("berkstan", "Rabbit", CFG)
+        assert cell.reorder_cycles > 0
+        assert cell.analysis_cycles > 0
+        assert cell.pagerank_iterations > 0
+        assert cell.permutation is not None
+
+
+class TestFigures:
+    def test_figure6_rows_and_average(self):
+        rows = figure6(CFG, algorithms=ALGOS)
+        assert [r.dataset for r in rows] == ["berkstan", "it-2004", "Average"]
+        avg = rows[-1].speedups
+        per_graph = np.mean(
+            [[r.speedups[a] for a in ALGOS] for r in rows[:-1]], axis=0
+        )
+        assert np.allclose([avg[a] for a in ALGOS], per_graph)
+
+    def test_figure6_llp_loses_end_to_end_to_rabbit(self):
+        # Shape assertions need non-degenerate communities: at "tiny"
+        # scale the largest community is a big fraction of the graph and
+        # Rabbit's critical-path term dominates its projection, a pure
+        # small-scale artifact (see EXPERIMENTS.md).  "small" is the
+        # smallest scale at which the paper's Figure 6/7 shape holds.
+        cfg = ExperimentConfig(scale="small", seed=0, datasets=("it-2004",))
+        rows = figure6(cfg, algorithms=ALGOS)
+        avg = rows[-1].speedups
+        assert avg["Rabbit"] > avg["LLP"]  # paper's central claim
+        assert avg["Rabbit"] > 1.0
+
+    def test_figure7_llp_slowest_reorder(self):
+        # LLP costs an order of magnitude more than Rabbit (the paper's
+        # Figure 7 headline).  Rabbit-vs-Degree is not asserted: at
+        # reproduction scale the sort's barrier cost is comparable to its
+        # tiny work term, so the cheap sorts lose their paper-scale edge.
+        cfg = ExperimentConfig(scale="small", seed=0, datasets=("berkstan",))
+        rows = figure7(cfg, algorithms=ALGOS)
+        for r in rows:
+            assert r.cycles["LLP"] > 5 * r.cycles["Rabbit"]
+            assert r.cycles["LLP"] > 5 * r.cycles["Degree"]
+
+    def test_figure8_contains_random(self):
+        rows = figure8(CFG, algorithms=(*ALGOS, "Random"))
+        for r in rows:
+            assert "Random" in r.cycles
+        speeds = analysis_speedups(rows)
+        assert set(speeds) == set(ALGOS)
+        # Degree barely helps; Rabbit does (paper Fig. 8).
+        assert speeds["Rabbit"] >= speeds["Degree"]
+
+    def test_figure9_levels(self):
+        rows = figure9(CFG, datasets=("berkstan",), algorithms=("Rabbit", "Random"))
+        assert {r.algorithm for r in rows} == {"Rabbit", "Random"}
+        for r in rows:
+            assert set(r.misses) == {"L1", "L2", "L3", "TLB"}
+            assert all(v >= 0 for v in r.misses.values())
+
+    def test_figure10_rabbit_scales(self):
+        rows = figure10(CFG, algorithms=("Rabbit", "Degree"), threads=(12, 48))
+        by_name = {r.algorithm: r.speedups for r in rows}
+        # The Rabbit probe re-runs a nondeterministic threaded detection,
+        # so at tiny scale only weak bounds are stable; Degree's profile
+        # is deterministic and must project a real speedup.
+        assert by_name["Rabbit"][12] > 0.5
+        assert by_name["Rabbit"][48] > 0.5
+        assert by_name["Degree"][48] >= 1.0
+
+    def test_figure11_heavy_analyses_amortise_better(self):
+        rows = figure11(CFG, algorithms=("Rabbit",))
+        by_analysis = {r.analysis: r.speedups["Rabbit"] for r in rows}
+        # Diameter runs several BFS sweeps: amortises reordering at least
+        # as well as one lightweight BFS pass (paper Fig. 11).
+        assert by_analysis["Diameter"] >= by_analysis["BFS"] * 0.9
+
+    def test_figure12_has_all_analyses(self):
+        data = figure12(CFG, dataset="berkstan", algorithms=("Rabbit", "Random"))
+        assert set(data) == {"DFS", "BFS", "SCC", "Diameter", "k-core"}
+        for row in data.values():
+            assert row["Rabbit"] > 0 and row["Random"] > 0
+
+
+class TestTables:
+    def test_table2_renders(self):
+        text = table2_table(CFG)
+        assert "berkstan" in text and "paper |V|" in text
+
+    def test_table4_parallel_close_to_sequential(self):
+        rows = table4(CFG, num_threads=4)
+        for r in rows:
+            assert r.modularity_par == pytest.approx(r.modularity_seq, abs=0.15)
+            assert abs(r.runtime_change_pct) < 50.0
+
+    def test_cli_main(self, capsys):
+        from repro.experiments.__main__ import main
+
+        rc = main(["datasets", "--scale", "tiny", "--datasets", "berkstan"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out

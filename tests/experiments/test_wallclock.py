@@ -1,0 +1,29 @@
+"""Wall-clock sanity track (fast smoke at tiny scale)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.wallclock import WallClockRow, wallclock, wallclock_table
+
+CFG = ExperimentConfig(scale="tiny", seed=0, datasets=("berkstan",))
+
+
+class TestWallclock:
+    def test_rows_have_positive_times(self):
+        rows = wallclock(CFG, algorithms=("Degree",))
+        assert len(rows) == 1
+        r = rows[0]
+        assert r.random_seconds > 0
+        assert r.seconds["Degree"] > 0
+        assert r.speedup("Degree") > 0
+
+    def test_table_renders(self):
+        text = wallclock_table(CFG, algorithms=("Degree",))
+        assert "Random [s]" in text
+        assert "berkstan" in text
+
+    def test_speedup_formula(self):
+        r = WallClockRow(
+            dataset="x", random_seconds=2.0, seconds={"Rabbit": 1.0}
+        )
+        assert r.speedup("Rabbit") == pytest.approx(2.0)

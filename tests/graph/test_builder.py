@@ -1,0 +1,109 @@
+"""GraphBuilder incremental construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import GraphBuilder
+
+
+class TestBuilder:
+    def test_single_edges(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_edge(1, 2)
+        g = b.build()
+        assert g.num_vertices == 3
+        assert g.num_undirected_edges == 2
+
+    def test_bulk_edges(self):
+        b = GraphBuilder()
+        b.add_edges([0, 1, 2], [1, 2, 3])
+        assert len(b) == 3
+        g = b.build()
+        assert g.num_undirected_edges == 3
+
+    def test_growth_beyond_initial_capacity(self):
+        b = GraphBuilder()
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 100, size=5000)
+        dst = rng.integers(0, 100, size=5000)
+        b.add_edges(src, dst)
+        g = b.build()
+        assert g.num_vertices == 100
+
+    def test_weights(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1, weight=2.5)
+        g = b.build()
+        assert g.is_weighted
+        assert g.edge_weight(0, 1) == pytest.approx(2.5)
+
+    def test_unit_weights_stay_implicit(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_edges([1], [2], weights=[1.0])
+        assert not b.build().is_weighted
+
+    def test_directed(self):
+        b = GraphBuilder(undirected=False)
+        b.add_edge(0, 1)
+        g = b.build()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_drop_self_loops(self):
+        b = GraphBuilder(allow_self_loops=False)
+        b.add_edge(0, 0)
+        b.add_edge(0, 1)
+        g = b.build()
+        assert g.num_self_loops == 0
+        assert g.num_undirected_edges == 1
+
+    def test_reserve_vertices(self):
+        b = GraphBuilder()
+        b.reserve_vertices(10)
+        b.add_edge(0, 1)
+        assert b.build().num_vertices == 10
+
+    def test_reserve_smaller_than_observed(self):
+        b = GraphBuilder()
+        b.reserve_vertices(2)
+        b.add_edge(0, 7)
+        assert b.build().num_vertices == 8
+
+    def test_explicit_num_vertices(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        assert b.build(num_vertices=5).num_vertices == 5
+
+    def test_negative_vertex_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphFormatError):
+            b.add_edge(-1, 0)
+
+    def test_negative_reserve_rejected(self):
+        with pytest.raises(GraphFormatError):
+            GraphBuilder().reserve_vertices(-1)
+
+    def test_mismatched_bulk_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphFormatError):
+            b.add_edges([0, 1], [1])
+
+    def test_mismatched_bulk_weights_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphFormatError):
+            b.add_edges([0], [1], weights=[1.0, 2.0])
+
+    def test_builder_reusable_after_build(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        g1 = b.build()
+        b.add_edge(1, 2)
+        g2 = b.build()
+        assert g1.num_undirected_edges == 1
+        assert g2.num_undirected_edges == 2
+
+    def test_empty_build(self):
+        assert GraphBuilder().build().num_vertices == 0

@@ -1,0 +1,202 @@
+"""Synthetic generators and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, GraphFormatError
+from repro.graph.generators import (
+    PAPER_TABLE2,
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    hierarchical_community_graph,
+    list_datasets,
+    load_dataset,
+    rmat_graph,
+    road_lattice_graph,
+    watts_strogatz_graph,
+)
+
+
+class TestRmat:
+    def test_shape(self):
+        g = rmat_graph(8, edge_factor=4, rng=0)
+        assert g.num_vertices == 256
+        assert g.is_symmetric()
+        assert g.num_self_loops == 0
+
+    def test_deterministic(self):
+        a = rmat_graph(7, rng=42)
+        b = rmat_graph(7, rng=42)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_degree_skew(self):
+        g = rmat_graph(10, edge_factor=8, a=0.57, b=0.19, c=0.19, rng=1)
+        deg = g.degrees()
+        # Heavy tail: max degree far above the mean.
+        assert deg.max() > 5 * deg.mean()
+
+    def test_scale_zero(self):
+        g = rmat_graph(0, rng=0)
+        assert g.num_vertices == 1
+
+    def test_invalid_scale(self):
+        with pytest.raises(GraphFormatError):
+            rmat_graph(-1)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(GraphFormatError):
+            rmat_graph(4, a=0.9, b=0.2, c=0.2)
+
+    def test_directed(self):
+        g = rmat_graph(6, rng=3, undirected=False)
+        assert not g.is_symmetric() or g.num_edges == 0
+
+
+class TestHierarchical:
+    def test_block_structure(self):
+        res = hierarchical_community_graph(
+            400, branching=2, levels=2, p_in=0.5, decay=0.05, rng=5
+        )
+        assert res.graph.num_vertices == 400
+        assert res.levels == 2
+        assert res.block_of.shape == (2, 400)
+
+    def test_planted_communities_are_modular(self):
+        from repro.community import modularity
+
+        res = hierarchical_community_graph(
+            600, branching=4, levels=2, p_in=0.4, decay=0.05, rng=2
+        )
+        q = modularity(res.graph, res.block_of[0])
+        assert q > 0.5  # strong planted structure
+
+    def test_intra_leaf_denser_than_cross(self):
+        res = hierarchical_community_graph(
+            500, branching=2, levels=1, p_in=0.3, decay=0.1, rng=8, shuffle=False
+        )
+        g = res.graph
+        leaf = res.block_of[0]
+        src, dst, _ = g.edge_array()
+        intra = np.count_nonzero(leaf[src] == leaf[dst])
+        assert intra > g.num_edges / 2
+
+    def test_shuffle_changes_labels_not_structure(self):
+        a = hierarchical_community_graph(200, rng=1, shuffle=False)
+        b = hierarchical_community_graph(200, rng=1, shuffle=True)
+        assert a.graph.num_undirected_edges == b.graph.num_undirected_edges
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphFormatError):
+            hierarchical_community_graph(0)
+        with pytest.raises(GraphFormatError):
+            hierarchical_community_graph(10, branching=1)
+        with pytest.raises(GraphFormatError):
+            hierarchical_community_graph(10, levels=0)
+        with pytest.raises(GraphFormatError):
+            hierarchical_community_graph(10, p_in=0.0)
+        with pytest.raises(GraphFormatError):
+            hierarchical_community_graph(10, decay=1.0)
+
+
+class TestClassic:
+    def test_erdos_renyi_density(self):
+        g = erdos_renyi_graph(300, 0.05, rng=0)
+        expected = 0.05 * 300 * 299 / 2
+        assert abs(g.num_undirected_edges - expected) < 0.3 * expected
+
+    def test_erdos_renyi_empty(self):
+        assert erdos_renyi_graph(10, 0.0, rng=0).num_edges == 0
+
+    def test_erdos_renyi_validation(self):
+        with pytest.raises(GraphFormatError):
+            erdos_renyi_graph(10, 1.5)
+        with pytest.raises(GraphFormatError):
+            erdos_renyi_graph(-1, 0.5)
+
+    def test_barabasi_albert_degrees(self):
+        g = barabasi_albert_graph(500, 3, rng=1)
+        assert g.num_vertices == 500
+        # Every late vertex attaches to exactly 3 targets.
+        assert g.degrees().min() >= 1
+        assert g.degrees().max() > 20  # hubs emerge
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(GraphFormatError):
+            barabasi_albert_graph(3, 3)
+        with pytest.raises(GraphFormatError):
+            barabasi_albert_graph(10, 0)
+
+    def test_watts_strogatz(self):
+        g = watts_strogatz_graph(100, 4, 0.1, rng=0)
+        assert g.num_vertices == 100
+        assert abs(g.num_undirected_edges - 200) < 20
+
+    def test_watts_strogatz_validation(self):
+        with pytest.raises(GraphFormatError):
+            watts_strogatz_graph(10, 3, 0.1)  # odd k
+        with pytest.raises(GraphFormatError):
+            watts_strogatz_graph(4, 4, 0.1)  # k >= n
+        with pytest.raises(GraphFormatError):
+            watts_strogatz_graph(10, 4, 2.0)
+
+    def test_road_lattice(self):
+        g = road_lattice_graph(10, 10, drop_p=0.0, diagonal_p=0.0, rng=0, shuffle=False)
+        assert g.num_vertices == 100
+        assert g.num_undirected_edges == 180  # 2 * 9 * 10
+
+    def test_road_lattice_low_max_degree(self):
+        g = road_lattice_graph(20, 20, rng=1)
+        assert g.degrees().max() <= 8
+
+    def test_road_lattice_validation(self):
+        with pytest.raises(GraphFormatError):
+            road_lattice_graph(0, 5)
+
+
+class TestRegistry:
+    def test_lists_paper_suite(self):
+        names = list_datasets()
+        assert names == list(PAPER_TABLE2)
+
+    def test_load_deterministic(self):
+        a = load_dataset("berkstan", "tiny", seed=1)
+        b = load_dataset("berkstan", "tiny", seed=1)
+        assert np.array_equal(a.graph.indices, b.graph.indices)
+
+    def test_seed_changes_graph(self):
+        a = load_dataset("berkstan", "tiny", seed=1)
+        b = load_dataset("berkstan", "tiny", seed=2)
+        assert not np.array_equal(a.graph.indices, b.graph.indices)
+
+    def test_scales_grow(self):
+        tiny = load_dataset("it-2004", "tiny").graph.num_vertices
+        small = load_dataset("it-2004", "small").graph.num_vertices
+        assert small > tiny
+
+    def test_relative_sizes_preserved(self):
+        smallest = load_dataset("berkstan", "tiny").graph.num_vertices
+        biggest = load_dataset("webbase", "tiny").graph.num_vertices
+        assert biggest > 5 * smallest
+
+    def test_all_symmetric(self):
+        for name in list_datasets():
+            g = load_dataset(name, "tiny").graph
+            assert g.is_symmetric(), name
+
+    def test_twitter_is_skewed_and_weakly_modular(self):
+        from repro.community import modularity
+        from repro.rabbit import rabbit_order
+
+        tw = load_dataset("twitter", "tiny").graph
+        web = load_dataset("it-2004", "tiny").graph
+        q_tw = modularity(tw, rabbit_order(tw).dendrogram.community_labels())
+        q_web = modularity(web, rabbit_order(web).dendrogram.community_labels())
+        assert q_tw < q_web  # paper Table IV: twitter ~0.36 vs it-2004 ~0.97
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_unknown_scale(self):
+        with pytest.raises(DatasetError, match="unknown scale"):
+            load_dataset("berkstan", "huge")

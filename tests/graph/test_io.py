@@ -1,0 +1,164 @@
+"""Graph serialisation round-trips and malformed-input handling."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import CSRGraph
+from repro.graph.io import (
+    read_edge_list,
+    read_matrix_market,
+    read_metis,
+    write_edge_list,
+    write_matrix_market,
+    write_metis,
+)
+from tests.conftest import make_paper_graph
+
+
+def _round_trip(write_fn, read_fn, graph, **read_kwargs):
+    buf = io.StringIO()
+    write_fn(graph, buf)
+    buf.seek(0)
+    return read_fn(buf, **read_kwargs)
+
+
+class TestEdgeList:
+    def test_round_trip_unweighted(self):
+        g = make_paper_graph(weighted=False)
+        back = _round_trip(write_edge_list, read_edge_list, g, undirected=False)
+        assert np.array_equal(back.indptr, g.indptr)
+        assert np.array_equal(back.indices, g.indices)
+
+    def test_round_trip_weighted(self, paper_graph):
+        buf = io.StringIO()
+        write_edge_list(paper_graph, buf)
+        buf.seek(0)
+        back = read_edge_list(buf, undirected=False, weighted=True)
+        assert np.allclose(back.weights, paper_graph.weights)
+
+    def test_comments_and_blank_lines_skipped(self):
+        g = read_edge_list(io.StringIO("# header\n\n0 1\n1 2\n"))
+        assert g.num_undirected_edges == 2
+
+    def test_file_path_round_trip(self, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        back = read_edge_list(path, undirected=False, weighted=True)
+        assert back.num_edges == paper_graph.num_edges
+
+    def test_malformed_line(self):
+        with pytest.raises(GraphFormatError, match="line 1"):
+            read_edge_list(io.StringIO("0\n"))
+
+    def test_non_integer_vertex(self):
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            read_edge_list(io.StringIO("a b\n"))
+
+    def test_negative_vertex(self):
+        with pytest.raises(GraphFormatError, match="negative"):
+            read_edge_list(io.StringIO("-1 0\n"))
+
+    def test_missing_weight(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("0 1\n"), weighted=True)
+
+    def test_bad_weight(self):
+        with pytest.raises(GraphFormatError, match="non-numeric"):
+            read_edge_list(io.StringIO("0 1 x\n"), weighted=True)
+
+
+class TestMetis:
+    def test_round_trip_unweighted(self):
+        g = make_paper_graph(weighted=False)
+        back = _round_trip(write_metis, read_metis, g)
+        assert np.array_equal(back.indices, g.indices)
+
+    def test_round_trip_weighted(self, paper_graph):
+        back = _round_trip(write_metis, read_metis, paper_graph)
+        assert np.allclose(back.weights, paper_graph.weights)
+
+    def test_comment_lines(self):
+        g = read_metis(io.StringIO("% comment\n2 1\n2\n1\n"))
+        assert g.num_undirected_edges == 1
+
+    def test_write_rejects_asymmetric(self):
+        g = CSRGraph.from_edges([0], [1], symmetrize=False)
+        with pytest.raises(GraphFormatError, match="symmetric"):
+            write_metis(g, io.StringIO())
+
+    def test_missing_header(self):
+        with pytest.raises(GraphFormatError, match="no header"):
+            read_metis(io.StringIO(""))
+
+    def test_wrong_vertex_count(self):
+        with pytest.raises(GraphFormatError, match="adjacency lines"):
+            read_metis(io.StringIO("3 1\n2\n1\n"))
+
+    def test_wrong_edge_count(self):
+        with pytest.raises(GraphFormatError, match="declares"):
+            read_metis(io.StringIO("2 5\n2\n1\n"))
+
+    def test_vertex_weights_unsupported(self):
+        with pytest.raises(GraphFormatError, match="fmt"):
+            read_metis(io.StringIO("2 1 11\n2 1\n1 1\n"))
+
+    def test_neighbour_out_of_range(self):
+        with pytest.raises(GraphFormatError, match="out of range"):
+            read_metis(io.StringIO("2 1\n3\n1\n"))
+
+    def test_isolated_vertices_round_trip(self):
+        """Blank adjacency lines are isolated vertices, not noise
+        (regression: the parser used to skip them and mis-count)."""
+        g = CSRGraph.from_edges([0], [1], num_vertices=5)
+        back = _round_trip(write_metis, read_metis, g)
+        assert back.num_vertices == 5
+        assert back.degrees().tolist() == [1, 1, 0, 0, 0]
+
+    def test_loops_dropped_on_write(self):
+        g = CSRGraph.from_edges([0, 0], [0, 1])
+        back = _round_trip(write_metis, read_metis, g)
+        assert back.num_self_loops == 0
+
+
+class TestMatrixMarket:
+    def test_round_trip_pattern(self):
+        g = make_paper_graph(weighted=False)
+        back = _round_trip(write_matrix_market, read_matrix_market, g)
+        assert np.array_equal(back.indices, g.indices)
+
+    def test_round_trip_real(self, paper_graph):
+        back = _round_trip(write_matrix_market, read_matrix_market, paper_graph)
+        assert np.allclose(back.weights, paper_graph.weights)
+
+    def test_symmetric_expansion(self):
+        text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 1.5\n3 2 2.5\n"
+        g = read_matrix_market(io.StringIO(text))
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.edge_weight(2, 1) == pytest.approx(2.5)
+
+    def test_missing_banner(self):
+        with pytest.raises(GraphFormatError, match="banner"):
+            read_matrix_market(io.StringIO("1 1 0\n"))
+
+    def test_non_square(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 3 0\n"
+        with pytest.raises(GraphFormatError, match="square"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_nnz_mismatch(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.0\n"
+        with pytest.raises(GraphFormatError, match="nnz"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_unsupported_field(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"
+        with pytest.raises(GraphFormatError, match="field"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_unsupported_symmetry(self):
+        text = "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n"
+        with pytest.raises(GraphFormatError, match="symmetry"):
+            read_matrix_market(io.StringIO(text))

@@ -1,0 +1,55 @@
+"""Symmetrisation and directed-graph reordering."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, validate_permutation
+from repro.graph.ops import as_undirected, in_degrees, out_degrees, reorder_directed
+
+
+class TestAsUndirected:
+    def test_directed_becomes_symmetric(self):
+        g = CSRGraph.from_edges([0, 1, 2], [1, 2, 0], symmetrize=False)
+        u = as_undirected(g)
+        assert u.is_symmetric()
+        assert u.has_edge(1, 0)
+
+    def test_antiparallel_weights_sum(self):
+        g = CSRGraph.from_edges(
+            [0, 1], [1, 0], weights=[2.0, 3.0], symmetrize=False
+        )
+        u = as_undirected(g)
+        assert u.edge_weight(0, 1) == pytest.approx(5.0)
+
+    def test_symmetric_passthrough(self, paper_graph):
+        assert as_undirected(paper_graph) is paper_graph
+
+
+class TestReorderDirected:
+    def test_permutation_valid_and_graph_isomorphic(self):
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 50, 300)
+        dst = rng.integers(0, 50, 300)
+        g = CSRGraph.from_edges(src, dst, num_vertices=50, symmetrize=False)
+        perm, reordered = reorder_directed(g, "Rabbit")
+        validate_permutation(perm, 50)
+        assert reordered.num_edges == g.num_edges
+        # Direction preserved: old (u, v) exists iff new (perm[u], perm[v]).
+        for u, v in [(int(s), int(d)) for s, d in zip(src[:20], dst[:20])]:
+            assert reordered.has_edge(int(perm[u]), int(perm[v]))
+
+    def test_other_algorithms(self):
+        g = CSRGraph.from_edges([0, 1, 2, 3], [1, 2, 3, 0], symmetrize=False)
+        for algo in ("Degree", "BFS"):
+            perm, _ = reorder_directed(g, algo, rng=0)
+            validate_permutation(perm, 4)
+
+
+class TestDegrees:
+    def test_in_out_degrees_directed(self):
+        g = CSRGraph.from_edges([0, 0, 1], [1, 2, 2], symmetrize=False)
+        assert out_degrees(g).tolist() == [2, 1, 0]
+        assert in_degrees(g).tolist() == [0, 1, 2]
+
+    def test_symmetric_in_equals_out(self, paper_graph):
+        assert np.array_equal(in_degrees(paper_graph), out_degrees(paper_graph))

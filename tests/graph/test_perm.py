@@ -1,0 +1,122 @@
+"""Permutation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PermutationError
+from repro.graph.perm import (
+    apply_permutation_to_values,
+    compose_permutations,
+    identity_permutation,
+    invert_permutation,
+    permutation_from_order,
+    random_permutation,
+    validate_permutation,
+)
+
+
+class TestValidate:
+    def test_identity_ok(self):
+        p = validate_permutation(np.arange(5))
+        assert p.dtype == np.int64
+
+    def test_empty_ok(self):
+        assert validate_permutation(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(PermutationError, match="length"):
+            validate_permutation(np.arange(4), n=5)
+
+    def test_out_of_range(self):
+        with pytest.raises(PermutationError, match="values must lie"):
+            validate_permutation(np.array([0, 5]))
+
+    def test_negative(self):
+        with pytest.raises(PermutationError):
+            validate_permutation(np.array([-1, 0]))
+
+    def test_duplicate(self):
+        with pytest.raises(PermutationError, match="never appears"):
+            validate_permutation(np.array([0, 0, 2]))
+
+    def test_non_integer(self):
+        with pytest.raises(PermutationError, match="integral"):
+            validate_permutation(np.array([0.0, 1.0]))
+
+    def test_two_dimensional(self):
+        with pytest.raises(PermutationError, match="1-D"):
+            validate_permutation(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestOperations:
+    def test_invert_known(self):
+        p = np.array([2, 0, 1])
+        assert invert_permutation(p).tolist() == [1, 2, 0]
+
+    def test_compose_order(self):
+        inner = np.array([1, 2, 0])
+        outer = np.array([2, 0, 1])
+        comp = compose_permutations(outer, inner)
+        assert comp.tolist() == [outer[inner[i]] for i in range(3)]
+
+    def test_identity(self):
+        assert identity_permutation(4).tolist() == [0, 1, 2, 3]
+
+    def test_random_is_permutation_and_seeded(self):
+        a = random_permutation(30, rng=9)
+        b = random_permutation(30, rng=9)
+        assert np.array_equal(a, b)
+        validate_permutation(a)
+
+    def test_permutation_from_order(self):
+        order = np.array([2, 0, 1])  # vertex 2 first, then 0, then 1
+        perm = permutation_from_order(order)
+        assert perm[2] == 0 and perm[0] == 1 and perm[1] == 2
+
+    def test_apply_values(self):
+        perm = np.array([1, 2, 0])
+        vals = np.array([10.0, 20.0, 30.0])
+        out = apply_permutation_to_values(perm, vals)
+        assert out.tolist() == [30.0, 10.0, 20.0]
+
+    def test_apply_values_length_mismatch(self):
+        with pytest.raises(PermutationError):
+            apply_permutation_to_values(np.array([0, 1]), np.zeros(3))
+
+
+class TestHypothesis:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 200), st.integers(0, 2**31 - 1))
+    def test_invert_round_trip(self, n, seed):
+        p = random_permutation(n, rng=seed)
+        assert np.array_equal(invert_permutation(invert_permutation(p)), p)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 100), st.integers(0, 2**31 - 1))
+    def test_compose_with_inverse_is_identity(self, n, seed):
+        p = random_permutation(n, rng=seed)
+        assert np.array_equal(
+            compose_permutations(invert_permutation(p), p),
+            identity_permutation(n),
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 60), st.integers(0, 2**31 - 1), st.integers(0, 2**31 - 1))
+    def test_compose_associative(self, n, s1, s2):
+        a = random_permutation(n, rng=s1)
+        b = random_permutation(n, rng=s2)
+        c = random_permutation(n, rng=s1 ^ s2)
+        left = compose_permutations(compose_permutations(a, b), c)
+        right = compose_permutations(a, compose_permutations(b, c))
+        assert np.array_equal(left, right)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 100), st.integers(0, 2**31 - 1))
+    def test_apply_values_inverts_with_inverse(self, n, seed):
+        p = random_permutation(n, rng=seed)
+        vals = np.arange(n, dtype=np.float64)
+        out = apply_permutation_to_values(p, vals)
+        back = apply_permutation_to_values(invert_permutation(p), out)
+        assert np.array_equal(back, vals)

@@ -1,0 +1,94 @@
+"""Static locality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, random_permutation
+from repro.graph.generators import hierarchical_community_graph
+from repro.metrics import (
+    average_neighbor_gap,
+    average_row_working_set,
+    bandwidth,
+    diagonal_block_density,
+    profile,
+)
+
+
+class TestGapAndBandwidth:
+    def test_path_graph(self):
+        n = 10
+        g = CSRGraph.from_edges(np.arange(n - 1), np.arange(1, n))
+        assert average_neighbor_gap(g) == 1.0
+        assert bandwidth(g) == 1
+
+    def test_empty(self):
+        g = CSRGraph.empty(3)
+        assert average_neighbor_gap(g) == 0.0
+        assert bandwidth(g) == 0
+        assert profile(g) == 0
+
+    def test_shuffling_worsens_gap(self):
+        n = 50
+        g = CSRGraph.from_edges(np.arange(n - 1), np.arange(1, n))
+        shuffled = g.permute(random_permutation(n, rng=0))
+        assert average_neighbor_gap(shuffled) > average_neighbor_gap(g)
+
+    def test_profile_path(self):
+        n = 5
+        g = CSRGraph.from_edges(np.arange(n - 1), np.arange(1, n))
+        # Rows 1..4 each reach back one position.
+        assert profile(g) == 4
+
+    def test_permutation_invariance_of_edge_count_not_gap(self, paper_graph):
+        perm = random_permutation(paper_graph.num_vertices, rng=4)
+        g2 = paper_graph.permute(perm)
+        assert g2.num_edges == paper_graph.num_edges
+
+
+class TestBlockDensity:
+    def test_block_width_n_is_total(self, paper_graph):
+        assert diagonal_block_density(
+            paper_graph, paper_graph.num_vertices
+        ) == pytest.approx(1.0)
+
+    def test_width_one_counts_loops_only(self):
+        g = CSRGraph.from_edges([0, 0], [0, 1])
+        # Slots: loop (0,0), (0,1), (1,0): 1 of 3 inside width-1 blocks.
+        assert diagonal_block_density(g, 1) == pytest.approx(1 / 3)
+
+    def test_invalid_width(self, paper_graph):
+        with pytest.raises(ValueError):
+            diagonal_block_density(paper_graph, 0)
+
+    def test_rabbit_increases_density(self):
+        from repro.rabbit import rabbit_order
+
+        g = hierarchical_community_graph(500, rng=0).graph
+        base = g.permute(random_permutation(500, rng=1))
+        res = rabbit_order(base)
+        assert diagonal_block_density(
+            base.permute(res.permutation), 32
+        ) > diagonal_block_density(base, 32)
+
+    def test_empty_graph(self):
+        assert diagonal_block_density(CSRGraph.empty(3), 4) == 0.0
+
+
+class TestWorkingSet:
+    def test_contiguous_rows_share_lines(self):
+        # Vertices 0..7 all adjacent to 8..11 (4 contiguous ids = 1 line of 8).
+        src = np.repeat(np.arange(8), 4)
+        dst = np.tile(np.arange(8, 12), 8)
+        g = CSRGraph.from_edges(src, dst)
+        ws = average_row_working_set(g, line_elements=8)
+        assert ws <= 2.0
+
+    def test_scattered_rows_touch_many_lines(self):
+        src = np.zeros(8, dtype=int)
+        dst = np.arange(8) * 8 + 8  # one line each
+        g = CSRGraph.from_edges(src, dst)
+        # Vertex 0's row touches 8 distinct lines.
+        assert average_row_working_set(g, line_elements=8) >= 8 / g.num_vertices
+
+    def test_empty(self):
+        assert average_row_working_set(CSRGraph.empty(0)) == 0.0

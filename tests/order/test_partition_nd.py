@@ -1,0 +1,94 @@
+"""Graph bisection (BFS-grow + FM) and Nested Dissection."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, invert_permutation
+from repro.graph.generators import (
+    hierarchical_community_graph,
+    road_lattice_graph,
+)
+from repro.order import bisect_graph, cut_size, nd_order
+from repro.order.nd import _separator_from_cut
+
+
+class TestBisection:
+    def test_balance(self):
+        g = road_lattice_graph(10, 10, rng=0)
+        res = bisect_graph(g)
+        a = int(np.count_nonzero(~res.side))
+        assert abs(a - g.num_vertices / 2) <= 0.1 * g.num_vertices + 2
+
+    def test_cut_counted_correctly(self):
+        g = CSRGraph.from_edges([0, 1, 2], [1, 2, 3])
+        side = np.array([False, False, True, True])
+        assert cut_size(g, side) == 1
+
+    def test_lattice_cut_near_side_length(self):
+        # A clean k x k lattice has a natural cut of ~k edges.
+        g = road_lattice_graph(12, 12, drop_p=0.0, diagonal_p=0.0, rng=0, shuffle=False)
+        res = bisect_graph(g)
+        assert res.cut_edges <= 3 * 12
+
+    def test_fm_improves_over_bfs_grow(self):
+        from repro.order.partition import _bfs_grow
+
+        g = hierarchical_community_graph(300, rng=2).graph
+        start = _bfs_grow(g, g.num_vertices // 2)
+        refined = bisect_graph(g)
+        assert refined.cut_edges <= cut_size(g, start)
+
+    def test_tiny_graphs(self):
+        assert bisect_graph(CSRGraph.empty(0)).side.size == 0
+        assert bisect_graph(CSRGraph.empty(1)).side.size == 1
+        res = bisect_graph(CSRGraph.from_edges([0], [1]))
+        assert res.side.size == 2
+
+    def test_disconnected_balanced(self):
+        g = CSRGraph.from_edges([0, 2, 4, 6], [1, 3, 5, 7])
+        res = bisect_graph(g)
+        a = int(np.count_nonzero(~res.side))
+        assert 2 <= a <= 6
+
+
+class TestSeparator:
+    def test_separator_covers_cut(self):
+        g = road_lattice_graph(8, 8, rng=3)
+        res = bisect_graph(g)
+        sep = _separator_from_cut(g, res.side)
+        in_sep = np.zeros(g.num_vertices, dtype=bool)
+        in_sep[sep] = True
+        src, dst, _ = g.edge_array()
+        crossing = res.side[src] != res.side[dst]
+        # Every crossing edge has at least one endpoint in the separator.
+        assert np.all(in_sep[src[crossing]] | in_sep[dst[crossing]])
+
+
+class TestND:
+    def test_separator_vertices_last_within_region(self):
+        g = road_lattice_graph(10, 10, rng=1)
+        res = nd_order(g)
+        # ND on a lattice should produce a permutation with decent
+        # diagonal block structure: most edges within half-blocks.
+        from repro.metrics import diagonal_block_density
+
+        permuted = g.permute(res.permutation)
+        assert diagonal_block_density(permuted, 50) > 0.5
+
+    def test_leaf_size_respected(self):
+        g = road_lattice_graph(8, 8, rng=2)
+        small = nd_order(g, leaf_size=8)
+        big = nd_order(g, leaf_size=64)
+        assert small.extra["depth"] >= big.extra["depth"]
+
+    def test_depth_cap(self):
+        g = road_lattice_graph(8, 8, rng=2)
+        res = nd_order(g, leaf_size=1, max_depth=2)
+        assert res.extra["depth"] <= 2
+
+    def test_clique_degenerates_gracefully(self):
+        n = 10
+        src, dst = np.triu_indices(n, k=1)
+        g = CSRGraph.from_edges(src, dst)
+        res = nd_order(g, leaf_size=2)
+        assert res.permutation.size == n

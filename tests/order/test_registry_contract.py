@@ -1,0 +1,48 @@
+"""Generic contract: every Table III algorithm must produce a valid
+permutation (and sane stats) on every graph in the zoo — including the
+degenerate ones (empty, isolated vertices, self-loops, disconnected)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import validate_permutation
+from repro.order import ALGORITHMS, TABLE3_ORDER, get_algorithm, list_algorithms, reorder
+
+
+class TestRegistry:
+    def test_table3_roster(self):
+        assert list_algorithms() == list(TABLE3_ORDER)
+        assert set(TABLE3_ORDER) == {
+            "Rabbit", "Slash", "BFS", "RCM", "ND", "LLP", "Shingle",
+            "Degree", "Random",
+        }
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(DatasetError, match="unknown reordering"):
+            get_algorithm("Sort-of-sorted")
+
+    def test_reorder_dispatch(self, paper_graph):
+        res = reorder(paper_graph, "Degree", rng=0)
+        assert res.name == "Degree"
+
+
+@pytest.mark.parametrize("algorithm", TABLE3_ORDER)
+class TestContract:
+    def test_valid_permutation_on_zoo(self, algorithm, zoo_graph):
+        res = ALGORITHMS[algorithm](zoo_graph, rng=0)
+        validate_permutation(res.permutation, zoo_graph.num_vertices)
+
+    def test_name_matches(self, algorithm, paper_graph):
+        assert ALGORITHMS[algorithm](paper_graph, rng=0).name == algorithm
+
+    def test_nonnegative_work_profile(self, algorithm, paper_graph):
+        stats = ALGORITHMS[algorithm](paper_graph, rng=0).stats
+        assert stats.work >= 0
+        assert 0 <= stats.span
+        assert stats.span <= stats.work + 1e-9 or not stats.parallelizable
+
+    def test_deterministic_given_seed(self, algorithm, paper_graph):
+        a = ALGORITHMS[algorithm](paper_graph, rng=17)
+        b = ALGORITHMS[algorithm](paper_graph, rng=17)
+        assert np.array_equal(a.permutation, b.permutation)

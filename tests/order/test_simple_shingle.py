@@ -1,0 +1,63 @@
+"""Random, Degree and Shingle orderings."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, invert_permutation
+from repro.graph.generators import hierarchical_community_graph, rmat_graph
+from repro.order import degree_order, random_order, shingle_order
+
+
+class TestRandom:
+    def test_different_seeds_differ(self, paper_graph):
+        a = random_order(paper_graph, rng=1).permutation
+        b = random_order(paper_graph, rng=2).permutation
+        assert not np.array_equal(a, b)
+
+
+class TestDegree:
+    def test_increasing_degree(self, paper_graph):
+        res = degree_order(paper_graph)
+        order = invert_permutation(res.permutation)  # visit order
+        degs = paper_graph.degrees()[order]
+        assert np.all(np.diff(degs) >= 0)
+
+    def test_stable_on_ties(self):
+        g = CSRGraph.from_edges([0, 1, 2], [1, 2, 0])  # all degree 2
+        res = degree_order(g)
+        assert res.permutation.tolist() == [0, 1, 2]
+
+
+class TestShingle:
+    def test_neighbor_sharing_vertices_nearby(self):
+        """Two vertices with identical neighbourhoods get identical
+        shingles, hence adjacent positions."""
+        # 0 and 1 share exactly {2, 3, 4}; 5..7 are a separate triangle.
+        g = CSRGraph.from_edges(
+            [0, 0, 0, 1, 1, 1, 5, 6, 7],
+            [2, 3, 4, 2, 3, 4, 6, 7, 5],
+        )
+        res = shingle_order(g, rng=0)
+        assert abs(int(res.permutation[0]) - int(res.permutation[1])) == 1
+
+    def test_improves_gap_on_community_graph(self):
+        from repro.metrics import average_neighbor_gap
+        from repro.graph.perm import random_permutation
+
+        hg = hierarchical_community_graph(400, rng=3)
+        base = hg.graph.permute(random_permutation(400, rng=0))
+        res = shingle_order(base, rng=1)
+        assert average_neighbor_gap(
+            base.permute(res.permutation)
+        ) < average_neighbor_gap(base)
+
+    def test_isolated_vertices_handled(self):
+        g = CSRGraph.from_edges([0], [1], num_vertices=5)
+        res = shingle_order(g, rng=0)
+        assert res.permutation.size == 5
+
+    def test_work_includes_minhash_and_sort(self):
+        g = rmat_graph(6, rng=0)
+        res = shingle_order(g, rng=0)
+        assert "minhash" in res.stats.phases
+        assert "sort" in res.stats.phases

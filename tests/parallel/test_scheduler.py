@@ -1,0 +1,174 @@
+"""Task executors: deterministic interleaving and real threads."""
+
+import threading
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.parallel.scheduler import (
+    InterleavingScheduler,
+    ThreadedRunner,
+    drive,
+    run_tasks,
+)
+
+
+def appender(log, name, steps):
+    for i in range(steps):
+        log.append((name, i))
+        yield
+
+
+class TestInterleavingScheduler:
+    def test_all_tasks_complete(self):
+        log = []
+        InterleavingScheduler(seed=0).run(
+            [appender(log, "a", 3), appender(log, "b", 3)]
+        )
+        assert sorted(log) == [(n, i) for n in "ab" for i in range(3)]
+
+    def test_replay_identical(self):
+        def run(seed):
+            log = []
+            InterleavingScheduler(seed=seed).run(
+                [appender(log, n, 5) for n in "abcd"]
+            )
+            return log
+
+        assert run(7) == run(7)
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            log = []
+            InterleavingScheduler(seed=seed).run(
+                [appender(log, n, 10) for n in "abcd"]
+            )
+            return tuple(log)
+
+        outcomes = {run(s) for s in range(10)}
+        assert len(outcomes) > 1
+
+    def test_window_limits_concurrency(self):
+        """With window=1 tasks run one at a time, in admission order."""
+        log = []
+        InterleavingScheduler(seed=3).run(
+            [appender(log, n, 3) for n in "ab"], window=1
+        )
+        assert log == [("a", i) for i in range(3)] + [("b", i) for i in range(3)]
+
+    def test_spawned_tasks_run(self):
+        log = []
+
+        def parent():
+            yield appender(log, "child", 2)
+            log.append(("parent", 0))
+            yield
+
+        InterleavingScheduler(seed=0).run([parent()])
+        assert ("child", 1) in log and ("parent", 0) in log
+
+    def test_livelock_detected(self):
+        def forever():
+            while True:
+                yield
+
+        with pytest.raises(SchedulerError, match="quiesce"):
+            InterleavingScheduler(seed=0, max_steps=100).run([forever()])
+
+    def test_steps_counted(self):
+        s = InterleavingScheduler(seed=0)
+        s.run([appender([], "a", 4)])
+        assert s.steps_taken == 5  # 4 yields + StopIteration
+
+    def test_empty_task_set(self):
+        InterleavingScheduler(seed=0).run([])
+
+
+class TestThreadedRunner:
+    def test_all_tasks_complete(self):
+        log = []
+        lock = threading.Lock()
+
+        def task(name):
+            for i in range(4):
+                with lock:
+                    log.append((name, i))
+                yield
+
+        ThreadedRunner(4).run([task(n) for n in "abcdef"])
+        assert len(log) == 24
+
+    def test_single_thread_runs_inline(self):
+        log = []
+        ThreadedRunner(1).run([appender(log, "a", 2)])
+        assert log == [("a", 0), ("a", 1)]
+
+    def test_worker_exception_propagates(self):
+        def bad():
+            yield
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            ThreadedRunner(2).run([bad()])
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(SchedulerError):
+            ThreadedRunner(0)
+
+    def test_spawned_tasks_run(self):
+        log = []
+        lock = threading.Lock()
+
+        def child():
+            with lock:
+                log.append("child")
+            yield
+
+        def parent():
+            yield child()
+
+        ThreadedRunner(2).run([parent()])
+        assert log == ["child"]
+
+
+class TestHelpers:
+    def test_drive_runs_to_completion(self):
+        log = []
+        drive(appender(log, "x", 3))
+        assert len(log) == 3
+
+    def test_drive_recurses_into_spawned(self):
+        log = []
+
+        def parent():
+            yield appender(log, "c", 2)
+
+        drive(parent())
+        assert len(log) == 2
+
+    def test_run_tasks_scheduler_mode(self):
+        log = []
+        run_tasks(
+            [lambda: appender(log, "a", 2), lambda: appender(log, "b", 2)],
+            scheduler_seed=1,
+        )
+        assert len(log) == 4
+
+    def test_run_tasks_threaded_mode(self):
+        log = []
+        lock = threading.Lock()
+
+        def make(name):
+            def factory():
+                def gen():
+                    for i in range(2):
+                        with lock:
+                            log.append((name, i))
+                        yield
+
+                return gen()
+
+            return factory
+
+        run_tasks([make("a"), make("b")], num_threads=2)
+        assert len(log) == 4

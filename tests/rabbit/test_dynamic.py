@@ -1,0 +1,97 @@
+"""Just-in-time reordering of evolving graphs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import CSRGraph, validate_permutation
+from repro.graph.generators import hierarchical_community_graph
+from repro.rabbit import DynamicReorderer
+
+
+def base_graph(n=200, seed=1):
+    return hierarchical_community_graph(n, rng=seed).graph
+
+
+class TestDynamicReorderer:
+    def test_initial_reorder_on_construction(self):
+        dr = DynamicReorderer(base_graph())
+        assert len(dr.events) == 1
+        validate_permutation(dr.permutation, dr.num_vertices)
+
+    def test_staleness_grows_with_insertions(self):
+        dr = DynamicReorderer(base_graph(), staleness_threshold=1.0)
+        s0 = dr.staleness()
+        dr.add_edge(0, 199)
+        dr.add_edge(1, 198)
+        assert dr.staleness() > s0
+
+    def test_threshold_triggers_reorder(self):
+        dr = DynamicReorderer(base_graph(), staleness_threshold=0.01)
+        rng = np.random.default_rng(0)
+        triggered = False
+        for _ in range(50):
+            u, v = rng.integers(0, 200, 2)
+            triggered |= dr.add_edge(int(u), int(v))
+            if triggered:
+                break
+        assert triggered
+        assert len(dr.events) >= 2
+        assert dr.staleness() == pytest.approx(0.0)
+
+    def test_bulk_insert(self):
+        dr = DynamicReorderer(base_graph(), staleness_threshold=0.9)
+        rng = np.random.default_rng(1)
+        dr.add_edges(rng.integers(0, 200, 30), rng.integers(0, 200, 30))
+        assert dr.pending_edges == 30
+
+    def test_current_view_includes_pending(self):
+        dr = DynamicReorderer(base_graph(), staleness_threshold=0.9)
+        before = dr.current_view().num_undirected_edges
+        dr.add_edge(0, 57)
+        dr.add_edge(0, 57)  # duplicate, coalesces away
+        after = dr.current_view().num_undirected_edges
+        assert after >= before  # new edge present (unless it existed)
+        validate_permutation(dr.permutation, 200)
+
+    def test_reorder_restores_locality(self):
+        """The headline behaviour: random insertions erode locality,
+        a JIT reorder wins it back."""
+        dr = DynamicReorderer(base_graph(400, seed=3), staleness_threshold=1.0)
+        fresh = dr.locality()
+        rng = np.random.default_rng(2)
+        m = dr.graph.num_undirected_edges
+        dr.add_edges(
+            rng.integers(0, 400, m // 3), rng.integers(0, 400, m // 3)
+        )
+        stale = dr.locality()
+        assert stale > fresh
+        dr.reorder()
+        recovered = dr.locality()
+        assert recovered < stale
+
+    def test_out_of_range_edge_rejected(self):
+        dr = DynamicReorderer(base_graph(), staleness_threshold=0.5)
+        with pytest.raises(GraphFormatError):
+            dr.add_edge(0, 9999)
+        with pytest.raises(GraphFormatError):
+            dr.add_edges([0], [500])
+
+    def test_invalid_threshold(self):
+        with pytest.raises(GraphFormatError):
+            DynamicReorderer(base_graph(), staleness_threshold=0.0)
+
+    def test_events_record_growth(self):
+        dr = DynamicReorderer(base_graph(), staleness_threshold=0.02)
+        rng = np.random.default_rng(4)
+        for _ in range(80):
+            u, v = rng.integers(0, 200, 2)
+            dr.add_edge(int(u), int(v))
+        sizes = [e.edges_at_reorder for e in dr.events]
+        assert sizes == sorted(sizes)
+        assert len(sizes) >= 2
+
+    def test_empty_initial_graph(self):
+        dr = DynamicReorderer(CSRGraph.empty(10), staleness_threshold=0.5)
+        dr.add_edge(0, 1)
+        validate_permutation(dr.permutation, 10)

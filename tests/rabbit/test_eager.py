@@ -1,0 +1,73 @@
+"""Eager-aggregation ablation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.community import modularity
+from repro.graph import CSRGraph, validate_permutation
+from repro.graph.generators import hierarchical_community_graph
+from repro.rabbit import community_detection_eager, community_detection_seq
+from tests.conftest import PAPER_COMMUNITIES
+
+
+class TestEager:
+    def test_paper_communities(self, paper_graph):
+        d, _ = community_detection_eager(paper_graph)
+        labels = d.community_labels()
+        found = {
+            frozenset(np.flatnonzero(labels == c).tolist())
+            for c in np.unique(labels)
+        }
+        assert found == {frozenset(c) for c in PAPER_COMMUNITIES}
+
+    def test_same_communities_as_lazy(self):
+        g = hierarchical_community_graph(300, rng=7).graph
+        lazy, _ = community_detection_seq(g)
+        eager, _ = community_detection_eager(g)
+        q_lazy = modularity(g, lazy.community_labels())
+        q_eager = modularity(g, eager.community_labels())
+        assert q_eager == pytest.approx(q_lazy, abs=0.05)
+
+    def test_lazy_does_less_work(self):
+        """The point of lazy aggregation (§III-B): strictly less edge
+        folding than eager rewriting on community-rich graphs."""
+        g = hierarchical_community_graph(500, rng=8).graph
+        _, lazy_stats = community_detection_seq(g)
+        _, eager_stats = community_detection_eager(g)
+        assert lazy_stats.edges_scanned < eager_stats.edges_scanned
+
+    def test_valid_forest(self, zoo_graph):
+        if not zoo_graph.is_symmetric():
+            pytest.skip("eager requires symmetric input")
+        d, _ = community_detection_eager(zoo_graph)
+        d.validate()
+        validate_permutation(d.ordering(), zoo_graph.num_vertices)
+
+    def test_edgeless(self):
+        d, stats = community_detection_eager(CSRGraph.empty(4))
+        assert stats.toplevels == 4
+        d.validate()
+
+
+class TestVisitOrderOption:
+    def test_random_visit_valid(self, paper_graph):
+        d, _ = community_detection_seq(paper_graph, visit="random", visit_rng=1)
+        d.validate()
+
+    def test_identity_visit_valid(self, paper_graph):
+        d, _ = community_detection_seq(paper_graph, visit="identity")
+        d.validate()
+
+    def test_unknown_visit_rejected(self, paper_graph):
+        with pytest.raises(ValueError, match="visit"):
+            community_detection_seq(paper_graph, visit="sideways")
+
+    def test_degree_visit_cheaper_than_random_on_skewed_graph(self):
+        """The paper's §III-B heuristic: processing low-degree vertices
+        first shrinks hubs' aggregation work."""
+        from repro.graph.generators import barabasi_albert_graph
+
+        g = barabasi_albert_graph(600, 4, rng=3)
+        _, by_degree = community_detection_seq(g, visit="degree")
+        _, by_random = community_detection_seq(g, visit="random", visit_rng=0)
+        assert by_degree.edges_scanned <= 1.2 * by_random.edges_scanned

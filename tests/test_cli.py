@@ -1,0 +1,105 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph import load_npz, save_npz, validate_permutation
+from repro.graph.generators import hierarchical_community_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = hierarchical_community_graph(200, rng=1).graph
+    p = tmp_path / "g.npz"
+    save_npz(g, p)
+    return str(p), g
+
+
+class TestReorder:
+    def test_writes_permutation_and_graph(self, graph_file, tmp_path, capsys):
+        path, g = graph_file
+        perm_out = str(tmp_path / "perm.npy")
+        graph_out = str(tmp_path / "out.npz")
+        rc = main(
+            ["reorder", path, "-a", "Rabbit", "--perm-out", perm_out,
+             "--graph-out", graph_out]
+        )
+        assert rc == 0
+        perm = np.load(perm_out)
+        validate_permutation(perm, g.num_vertices)
+        out = load_npz(graph_out)
+        assert out.num_edges == g.num_edges
+
+    @pytest.mark.parametrize("algo", ["Degree", "RCM", "BFS"])
+    def test_other_algorithms(self, graph_file, algo, capsys):
+        path, _ = graph_file
+        assert main(["reorder", path, "-a", algo]) == 0
+
+    def test_unknown_algorithm_fails_cleanly(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main(["reorder", path, "-a", "Quicksort"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    MARKERS = {
+        "pagerank": "pagerank:",
+        "bfs": "bfs from",
+        "dfs": "dfs: visited",
+        "scc": "scc:",
+        "components": "components:",
+        "diameter": "pseudo-diameter:",
+        "kcore": "k-core:",
+    }
+
+    @pytest.mark.parametrize("analysis", sorted(MARKERS))
+    def test_all_analyses_run(self, graph_file, analysis, capsys):
+        path, _ = graph_file
+        assert main(["analyze", path, analysis]) == 0
+        assert self.MARKERS[analysis] in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_output(self, graph_file, capsys):
+        path, g = graph_file
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert f"vertices        {g.num_vertices}" in out
+        assert "bandwidth" in out
+
+    def test_spy_plot(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main(["stats", path, "--spy", "8"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) > 10
+
+
+class TestGenerate:
+    def test_generate_dataset(self, tmp_path, capsys):
+        out = str(tmp_path / "tw.npz")
+        assert main(["generate", "twitter", out, "--scale", "tiny"]) == 0
+        g = load_npz(out)
+        assert g.num_vertices > 0
+
+    def test_unknown_dataset(self, tmp_path, capsys):
+        assert main(["generate", "nope", str(tmp_path / "x.npz")]) == 2
+
+    def test_edge_list_output(self, tmp_path, capsys):
+        out = str(tmp_path / "g.txt")
+        assert main(["generate", "berkstan", out, "--scale", "tiny"]) == 0
+        from repro.graph.io import read_edge_list
+
+        g = read_edge_list(out, undirected=False)
+        assert g.num_vertices > 0
+
+
+class TestFormats:
+    def test_metis_round_trip_via_cli(self, tmp_path, capsys):
+        src = str(tmp_path / "a.graph")
+        assert main(["generate", "road-usa", src, "--scale", "tiny"]) == 0
+        dst = str(tmp_path / "b.mtx")
+        assert main(["reorder", src, "-a", "Degree", "--graph-out", dst]) == 0
+        from repro.graph.io import read_matrix_market
+
+        assert read_matrix_market(dst).num_vertices > 0
