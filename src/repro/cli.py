@@ -13,6 +13,9 @@ Commands
     ASCII spy plot).
 ``generate``
     Emit a synthetic graph (registry dataset or raw generator).
+``stress``
+    Fault-injection stress sweep of the parallel pipeline (seeds × fault
+    plans, audited); exits non-zero if any run fails its audit.
 
 Graphs are read/written by extension: ``.npz`` (binary), ``.graph``
 (METIS), ``.mtx`` (MatrixMarket), anything else as a whitespace edge
@@ -170,6 +173,24 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_stress(args) -> int:
+    from repro.experiments.stress import run_stress
+
+    if args.seeds < 1:
+        print(f"error: --seeds must be >= 1, got {args.seeds}", file=sys.stderr)
+        return 2
+    report = run_stress(
+        scale=args.scale,
+        edge_factor=args.edge_factor,
+        graph_seed=args.graph_seed,
+        num_seeds=args.seeds,
+        num_threads=args.threads,
+        quick=args.quick,
+    )
+    print(report.table())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -206,6 +227,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", default="small")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser(
+        "stress", help="fault-injection stress sweep (seeds x fault plans)"
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="small smoke sweep (CI-friendly)")
+    p.add_argument("--seeds", type=int, default=20,
+                   help="scheduler seeds per fault plan")
+    p.add_argument("--scale", type=int, default=6,
+                   help="R-MAT scale of the stress graph")
+    p.add_argument("--edge-factor", type=int, default=4)
+    p.add_argument("--graph-seed", type=int, default=3)
+    p.add_argument("--threads", type=int, default=4,
+                   help="modelled hardware threads (scheduler window)")
+    p.set_defaults(fn=_cmd_stress)
     return parser
 
 

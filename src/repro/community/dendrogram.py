@@ -160,11 +160,48 @@ class Dendrogram:
     # ------------------------------------------------------------------
     def validate(self) -> None:
         """Check forest well-formedness: every vertex reachable from
-        exactly one root, no cycles."""
-        seen = np.zeros(self.num_vertices, dtype=np.int64)
+        exactly one root, no cycles.
+
+        The traversal is bounded by the vertex count, so corrupted
+        ``child``/``sibling`` links (out-of-range ids, cycles) raise a
+        :class:`GraphFormatError` instead of looping forever — this is
+        what lets the fault-injection auditor run on arbitrarily damaged
+        dendrograms.
+        """
+        n = self.num_vertices
+        seen = np.zeros(n, dtype=np.int64)
         for root in self.toplevel:
-            for v in self.members(int(root)):
+            r = int(root)
+            if not 0 <= r < n:
+                raise GraphFormatError(
+                    f"dendrogram top-level id {r} out of range [0, {n})"
+                )
+            stack = [r]
+            while stack:
+                v = stack.pop()
                 seen[v] += 1
+                if seen[v] > 1:
+                    # Also catches child links pointing back at an
+                    # ancestor: the revisit fires before any infinite loop.
+                    raise GraphFormatError(
+                        f"dendrogram is not a forest partition: vertex {v} "
+                        f"appears {int(seen[v])} times across top-level "
+                        "subtrees"
+                    )
+                c = int(self.child[v])
+                while c != NO_VERTEX:
+                    if not 0 <= c < n:
+                        raise GraphFormatError(
+                            f"dendrogram child link {c} of vertex {v} out of "
+                            f"range [0, {n})"
+                        )
+                    stack.append(c)
+                    if len(stack) > n:
+                        raise GraphFormatError(
+                            "dendrogram sibling chain contains a cycle "
+                            f"(chain exceeded {n} links)"
+                        )
+                    c = int(self.sibling[c])
         if np.any(seen != 1):
             bad = int(np.flatnonzero(seen != 1)[0])
             raise GraphFormatError(

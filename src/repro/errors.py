@@ -13,6 +13,9 @@ __all__ = [
     "PermutationError",
     "ConvergenceError",
     "SchedulerError",
+    "LivelockError",
+    "FaultInjectionError",
+    "AuditError",
     "CacheConfigError",
     "DatasetError",
 ]
@@ -37,6 +40,21 @@ class ConvergenceError(ReproError):
 class SchedulerError(ReproError):
     """The deterministic interleaving scheduler was misused (e.g. a task
     performed a blocking operation outside a yield point)."""
+
+
+class LivelockError(SchedulerError):
+    """The task set failed to quiesce within the scheduler's step budget —
+    typically mutually-retrying vertices in a CAS retry loop."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection plan is invalid (rates outside [0, 1], negative
+    stall lengths, ...) or an injection hook was misused."""
+
+
+class AuditError(ReproError):
+    """A post-run audit found a violated invariant (dendrogram not a
+    forest, lost degree mass, ordering not a bijection, ...)."""
 
 
 class CacheConfigError(ReproError):

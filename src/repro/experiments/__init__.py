@@ -26,6 +26,13 @@ from repro.experiments.other_analyses import (
 from repro.experiments.quality import table4, table4_table
 from repro.experiments.reorder_time import figure7, figure7_table
 from repro.experiments.scalability import figure10, figure10_table
+from repro.experiments.stress import (
+    DEFAULT_CASES,
+    StressCase,
+    StressOutcome,
+    StressReport,
+    run_stress,
+)
 from repro.experiments.sweep import clear_sweep_cache, sweep_cell
 from repro.experiments.wallclock import wallclock, wallclock_table
 
@@ -52,6 +59,11 @@ __all__ = [
     "table4_table",
     "sweep_cell",
     "clear_sweep_cache",
+    "DEFAULT_CASES",
+    "StressCase",
+    "StressOutcome",
+    "StressReport",
+    "run_stress",
     "wallclock",
     "wallclock_table",
 ]

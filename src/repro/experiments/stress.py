@@ -1,0 +1,218 @@
+"""Randomized stress harness: seeds × fault plans over the parallel pipeline.
+
+Each cell of the sweep runs Algorithm 3 on a small R-MAT graph under the
+deterministic interleaving scheduler with one (scheduler seed, fault
+plan) pair, with ``audit=True`` so every dendrogram invariant is
+machine-checked, then cross-checks the counters and the emitted ordering.
+Because both the schedule and the injected faults are seeded, any failing
+cell is replayable in isolation::
+
+    community_detection_par(g, scheduler_seed=SEED,
+                            fault_plan=FaultPlan(seed=SEED, ...), audit=True)
+
+Run from the command line as ``python -m repro stress`` (``--quick`` for
+the CI smoke variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import PermutationError, ReproError
+from repro.graph.generators import rmat_graph
+from repro.graph.perm import validate_permutation
+from repro.parallel.faults import FaultPlan
+from repro.rabbit.par import community_detection_par
+
+__all__ = [
+    "StressCase",
+    "StressOutcome",
+    "StressReport",
+    "DEFAULT_CASES",
+    "run_stress",
+]
+
+
+@dataclass(frozen=True)
+class StressCase:
+    """A named fault-plan template; the plan's RNG seed is re-derived from
+    each run's scheduler seed so every cell is an independent scenario."""
+
+    name: str
+    plan: FaultPlan | None  # None = fault injection off (baseline)
+
+
+#: The standard hostile-environment suite, from benign to chaos.
+DEFAULT_CASES: tuple[StressCase, ...] = (
+    StressCase("baseline", None),
+    StressCase("cas-storm", FaultPlan(cas_failure_rate=0.5)),
+    StressCase("cas-total", FaultPlan(cas_failure_rate=1.0)),
+    StressCase(
+        "spurious-invalid",
+        FaultPlan(spurious_invalid_rate=0.15, spurious_window=6),
+    ),
+    StressCase(
+        "stalls", FaultPlan(stall_rate=0.05, stall_steps=50, max_stalls=16)
+    ),
+    StressCase("crashes", FaultPlan(crash_rate=0.02, max_crashes=4)),
+    StressCase(
+        "chaos",
+        FaultPlan(
+            cas_failure_rate=0.4,
+            spurious_invalid_rate=0.1,
+            spurious_window=4,
+            stall_rate=0.03,
+            stall_steps=40,
+            max_stalls=12,
+            crash_rate=0.015,
+            max_crashes=3,
+        ),
+    ),
+)
+
+
+@dataclass
+class StressOutcome:
+    """One (case, seed) cell of the sweep."""
+
+    case: str
+    seed: int
+    ok: bool
+    error: str | None = None
+    merges: int = 0
+    toplevels: int = 0
+    retries: int = 0
+    orphans_recovered: int = 0
+    partial_repairs: int = 0
+    fallback_merges: int = 0
+    forced_cas_failures: int = 0
+    spurious_invalid_reads: int = 0
+    stalls: int = 0
+    crashes: int = 0
+
+
+@dataclass
+class StressReport:
+    """All outcomes of a sweep plus a per-case summary table."""
+
+    graph_desc: str
+    outcomes: list[StressOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def failures(self) -> list[StressOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def table(self) -> str:
+        header = (
+            f"{'case':<18} {'runs':>5} {'fail':>5} {'merges':>8} "
+            f"{'toplvl':>7} {'retries':>8} {'orphan':>7} {'repair':>7} "
+            f"{'fbmerge':>8} {'casfail':>8} {'spur':>6} {'stall':>6} "
+            f"{'crash':>6}"
+        )
+        lines = [f"stress sweep on {self.graph_desc}", header,
+                 "-" * len(header)]
+        cases: dict[str, list[StressOutcome]] = {}
+        for o in self.outcomes:
+            cases.setdefault(o.case, []).append(o)
+        for name, rows in cases.items():
+            lines.append(
+                f"{name:<18} {len(rows):>5} "
+                f"{sum(not r.ok for r in rows):>5} "
+                f"{sum(r.merges for r in rows):>8} "
+                f"{sum(r.toplevels for r in rows):>7} "
+                f"{sum(r.retries for r in rows):>8} "
+                f"{sum(r.orphans_recovered for r in rows):>7} "
+                f"{sum(r.partial_repairs for r in rows):>7} "
+                f"{sum(r.fallback_merges for r in rows):>8} "
+                f"{sum(r.forced_cas_failures for r in rows):>8} "
+                f"{sum(r.spurious_invalid_reads for r in rows):>6} "
+                f"{sum(r.stalls for r in rows):>6} "
+                f"{sum(r.crashes for r in rows):>6}"
+            )
+        for o in self.failures:
+            lines.append(f"FAILED {o.case} seed={o.seed}: {o.error}")
+        verdict = "all runs passed the audit" if self.ok else (
+            f"{len(self.failures)} of {len(self.outcomes)} runs FAILED"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.table()
+
+
+def _run_cell(graph, case: StressCase, seed: int, num_threads: int) -> StressOutcome:
+    plan = None if case.plan is None else replace(case.plan, seed=seed)
+    outcome = StressOutcome(case=case.name, seed=seed, ok=False)
+    try:
+        res = community_detection_par(
+            graph,
+            num_threads=num_threads,
+            scheduler_seed=seed,
+            fault_plan=plan,
+            audit=True,
+        )
+        s = res.stats
+        outcome.merges = s.merges
+        outcome.toplevels = s.toplevels
+        outcome.retries = s.retries
+        outcome.orphans_recovered = s.orphans_recovered
+        outcome.partial_repairs = s.partial_repairs
+        outcome.fallback_merges = s.fallback_merges
+        if res.fault_counters is not None:
+            c = res.fault_counters
+            outcome.forced_cas_failures = c.forced_cas_failures
+            outcome.spurious_invalid_reads = c.spurious_invalid_reads
+            outcome.stalls = c.stalls
+            outcome.crashes = c.crashes
+        # Cross-checks beyond the auditor: the pipeline's end products.
+        res.dendrogram.validate()
+        validate_permutation(
+            res.dendrogram.ordering(), graph.num_vertices
+        )
+        if s.merges + s.toplevels != graph.num_vertices:
+            raise ReproError(
+                f"counter mismatch: {s.merges} merges + {s.toplevels} "
+                f"toplevels != {graph.num_vertices} vertices"
+            )
+        outcome.ok = True
+    except (ReproError, PermutationError) as exc:
+        outcome.error = f"{type(exc).__name__}: {exc}"
+    return outcome
+
+
+def run_stress(
+    *,
+    scale: int = 6,
+    edge_factor: int = 4,
+    graph_seed: int = 3,
+    num_seeds: int = 20,
+    num_threads: int = 4,
+    cases: tuple[StressCase, ...] | None = None,
+    quick: bool = False,
+) -> StressReport:
+    """Sweep ``cases`` × ``num_seeds`` scheduler seeds on one R-MAT graph.
+
+    ``quick`` shrinks the sweep (3 seeds) for a CI smoke job; a full run
+    uses every seed for every case.  All runs use the deterministic
+    interleaving scheduler, so the whole report is replayable.
+    """
+    if quick:
+        num_seeds = min(num_seeds, 3)
+    graph = rmat_graph(scale, edge_factor=edge_factor, rng=graph_seed)
+    report = StressReport(
+        graph_desc=(
+            f"R-MAT scale={scale} ({graph.num_vertices} vertices, "
+            f"{graph.num_undirected_edges} edges), {num_seeds} seeds/case"
+        )
+    )
+    for case in cases if cases is not None else DEFAULT_CASES:
+        for seed in range(num_seeds):
+            report.outcomes.append(
+                _run_cell(graph, case, seed, num_threads)
+            )
+    return report

@@ -124,7 +124,7 @@ def read_metis(path_or_file) -> CSRGraph:
     fh, should_close = _open_text(path_or_file, "r")
     try:
         header = None
-        rows: list[list[str]] = []
+        rows: list[tuple[int, list[str]]] = []
         for lineno, line in enumerate(fh, start=1):
             stripped = line.strip()
             if stripped.startswith("%"):
@@ -136,13 +136,23 @@ def read_metis(path_or_file) -> CSRGraph:
                     continue
                 header = (lineno, stripped.split())
             else:
-                rows.append(stripped.split())
+                rows.append((lineno, stripped.split()))
         if header is None:
             raise GraphFormatError("METIS file has no header line")
         hline, parts = header
         if len(parts) < 2:
             raise GraphFormatError(f"line {hline}: METIS header needs 'n m [fmt]'")
-        n, m = int(parts[0]), int(parts[1])
+        try:
+            n, m = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"line {hline}: non-integer vertex/edge count in METIS "
+                f"header {' '.join(parts)!r}"
+            ) from exc
+        if n < 0 or m < 0:
+            raise GraphFormatError(
+                f"line {hline}: negative vertex/edge count in METIS header"
+            )
         fmt = parts[2] if len(parts) >= 3 else "0"
         if fmt not in ("0", "00", "1", "01"):
             raise GraphFormatError(
@@ -150,7 +160,7 @@ def read_metis(path_or_file) -> CSRGraph:
             )
         has_ew = fmt in ("1", "01")
         # Tolerate trailing blank lines (e.g. editor-added final newline).
-        while len(rows) > n and not rows[-1]:
+        while len(rows) > n and not rows[-1][1]:
             rows.pop()
         if len(rows) != n:
             raise GraphFormatError(
@@ -159,22 +169,36 @@ def read_metis(path_or_file) -> CSRGraph:
         srcs: list[int] = []
         dsts: list[int] = []
         ws: list[float] = []
-        for u, tokens in enumerate(rows):
+        for u, (lineno, tokens) in enumerate(rows):
             if has_ew and len(tokens) % 2 != 0:
                 raise GraphFormatError(
-                    f"vertex {u}: odd token count in weighted adjacency list"
+                    f"line {lineno}: vertex {u}: odd token count in weighted "
+                    "adjacency list (expected neighbour/weight pairs)"
                 )
             step = 2 if has_ew else 1
             for i in range(0, len(tokens), step):
-                v = int(tokens[i]) - 1
+                try:
+                    v = int(tokens[i]) - 1
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"line {lineno}: vertex {u}: non-integer neighbour "
+                        f"id {tokens[i]!r}"
+                    ) from exc
                 if v < 0 or v >= n:
                     raise GraphFormatError(
-                        f"vertex {u}: neighbour id {v + 1} out of range 1..{n}"
+                        f"line {lineno}: vertex {u}: neighbour id {v + 1} "
+                        f"out of range 1..{n}"
                     )
                 srcs.append(u)
                 dsts.append(v)
                 if has_ew:
-                    ws.append(float(tokens[i + 1]))
+                    try:
+                        ws.append(float(tokens[i + 1]))
+                    except ValueError as exc:
+                        raise GraphFormatError(
+                            f"line {lineno}: vertex {u}: non-numeric edge "
+                            f"weight {tokens[i + 1]!r}"
+                        ) from exc
         graph = CSRGraph.from_edges(
             np.array(srcs, dtype=np.int64),
             np.array(dsts, dtype=np.int64),
@@ -242,14 +266,32 @@ def read_matrix_market(path_or_file) -> CSRGraph:
         if symmetry not in ("general", "symmetric"):
             raise GraphFormatError(f"unsupported MatrixMarket symmetry {symmetry!r}")
         size_line = None
+        lineno = 1  # the banner was line 1
         for line in fh:
+            lineno += 1
             s = line.strip()
             if s and not s.startswith("%"):
-                size_line = s
+                size_line = (lineno, s)
                 break
         if size_line is None:
             raise GraphFormatError("MatrixMarket file has no size line")
-        nrows, ncols, nnz = (int(t) for t in size_line.split()[:3])
+        sline, s = size_line
+        size_tokens = s.split()
+        if len(size_tokens) < 3:
+            raise GraphFormatError(
+                f"line {sline}: MatrixMarket size line needs 'rows cols nnz', "
+                f"got {s!r}"
+            )
+        try:
+            nrows, ncols, nnz = (int(t) for t in size_tokens[:3])
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"line {sline}: non-integer MatrixMarket size in {s!r}"
+            ) from exc
+        if nrows < 0 or ncols < 0 or nnz < 0:
+            raise GraphFormatError(
+                f"line {sline}: negative MatrixMarket dimensions in {s!r}"
+            )
         if nrows != ncols:
             raise GraphFormatError(
                 f"adjacency matrix must be square, got {nrows}x{ncols}"
@@ -258,19 +300,44 @@ def read_matrix_market(path_or_file) -> CSRGraph:
         dsts = np.empty(nnz, dtype=np.int64)
         ws = np.empty(nnz, dtype=np.float64) if field != "pattern" else None
         k = 0
-        for lineno, line in enumerate(fh, start=1):
+        for line in fh:
+            lineno += 1
             s = line.strip()
             if not s or s.startswith("%"):
                 continue
             parts = s.split()
             if k >= nnz:
-                raise GraphFormatError("more entries than declared nnz")
-            srcs[k] = int(parts[0]) - 1
-            dsts[k] = int(parts[1]) - 1
+                raise GraphFormatError(
+                    f"line {lineno}: more entries than the declared nnz ({nnz})"
+                )
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"line {lineno}: entry needs 'row col"
+                    f"{'' if ws is None else ' value'}', got {s!r}"
+                )
+            try:
+                r, c = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"line {lineno}: non-integer MatrixMarket index in {s!r}"
+                ) from exc
+            if not 1 <= r <= nrows or not 1 <= c <= ncols:
+                raise GraphFormatError(
+                    f"line {lineno}: index ({r}, {c}) out of the declared "
+                    f"{nrows}x{ncols} range"
+                )
+            srcs[k] = r - 1
+            dsts[k] = c - 1
             if ws is not None:
                 if len(parts) < 3:
                     raise GraphFormatError(f"entry line {lineno}: missing value")
-                ws[k] = float(parts[2])
+                try:
+                    ws[k] = float(parts[2])
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"line {lineno}: non-numeric MatrixMarket value "
+                        f"{parts[2]!r}"
+                    ) from exc
             k += 1
         if k != nnz:
             raise GraphFormatError(f"declared nnz {nnz} but parsed {k} entries")

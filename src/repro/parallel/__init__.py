@@ -11,6 +11,12 @@ from repro.parallel.costmodel import (
     projected_speedup,
     projected_time,
 )
+from repro.parallel.faults import (
+    FaultCounters,
+    FaultInjector,
+    FaultPlan,
+    FaultyAtomicPairArray,
+)
 from repro.parallel.scheduler import (
     InterleavingScheduler,
     ThreadedRunner,
@@ -23,6 +29,10 @@ __all__ = [
     "AtomicCounter",
     "AtomicPairArray",
     "OpCounter",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyAtomicPairArray",
     "InterleavingScheduler",
     "ThreadedRunner",
     "drive",

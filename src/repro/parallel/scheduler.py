@@ -24,12 +24,17 @@ new generator (a "spawned" subtask, appended to the runnable set).
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
-from typing import Callable, Generator, Iterable
+from typing import TYPE_CHECKING, Callable, Generator, Iterable
 
 import numpy as np
 
-from repro.errors import SchedulerError
+from repro.errors import LivelockError, SchedulerError
+from repro.parallel.faults import CRASH, STALL
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.parallel.faults import FaultInjector
 
 __all__ = ["InterleavingScheduler", "ThreadedRunner", "drive"]
 
@@ -52,15 +57,29 @@ class InterleavingScheduler:
         seed for the schedule; the same seed replays the same interleaving
         for the same task set.
     max_steps:
-        safety valve: raise :class:`SchedulerError` if the task set does
+        safety valve: raise :class:`LivelockError` if the task set does
         not quiesce within this many scheduling steps (catches livelock in
         retry loops).
+    faults:
+        optional :class:`~repro.parallel.faults.FaultInjector`; when set,
+        live tasks may be stalled for ``plan.stall_steps`` scheduling
+        steps or crashed (abandoned mid-flight, never resumed) at any
+        scheduling point.  ``None`` selects the plain run loop — the
+        default path is untouched by fault machinery.
     """
 
-    def __init__(self, seed: int | None = 0, max_steps: int = 50_000_000):
+    def __init__(
+        self,
+        seed: int | None = 0,
+        max_steps: int = 50_000_000,
+        faults: "FaultInjector | None" = None,
+    ):
         self._rng = np.random.default_rng(seed)
         self._max_steps = max_steps
+        self._faults = faults
         self.steps_taken = 0
+        #: number of tasks abandoned by injected crashes in the last run
+        self.crashed_tasks = 0
 
     def run(self, tasks: Iterable[TaskGen], *, window: int | None = None) -> None:
         """Interleave *tasks* until all complete.
@@ -70,6 +89,9 @@ class InterleavingScheduler:
         that many hardware threads.  ``None`` makes every task live
         immediately (maximal adversarial interleaving).
         """
+        if self._faults is not None:
+            self._run_with_faults(tasks, window=window)
+            return
         pending: deque[TaskGen] = deque(tasks)
         runnable: list[TaskGen] = []
         limit = len(pending) if window is None else max(1, window)
@@ -90,10 +112,68 @@ class InterleavingScheduler:
                     pending.append(spawned)
             steps += 1
             if steps > self._max_steps:
-                raise SchedulerError(
+                raise LivelockError(
                     f"tasks did not quiesce within {self._max_steps} steps; "
                     "likely a livelock in a retry loop"
                 )
+        self.steps_taken = steps
+
+    def _run_with_faults(
+        self, tasks: Iterable[TaskGen], *, window: int | None = None
+    ) -> None:
+        """The run loop with stall/crash injection at scheduling points.
+
+        Identical schedule draws as the plain loop (one RNG draw per
+        step), so a given ``(seed, plan)`` pair replays exactly.  A
+        stalled task keeps its hardware-thread slot but burns steps; a
+        crashed task is dropped without cleanup, exactly like a worker
+        dying mid-critical-section.
+        """
+        injector = self._faults
+        assert injector is not None
+        pending: deque[TaskGen] = deque(tasks)
+        runnable: list[TaskGen] = []
+        stalled: list[int] = []  # per-task remaining frozen steps
+        limit = len(pending) if window is None else max(1, window)
+        steps = 0
+        self.crashed_tasks = 0
+        while runnable or pending:
+            while pending and len(runnable) < limit:
+                runnable.append(pending.popleft())
+                stalled.append(0)
+            idx = int(self._rng.integers(0, len(runnable)))
+            steps += 1
+            if steps > self._max_steps:
+                raise LivelockError(
+                    f"tasks did not quiesce within {self._max_steps} steps; "
+                    "likely a livelock in a retry loop"
+                )
+            if stalled[idx] > 0:
+                stalled[idx] -= 1
+                continue
+            action = injector.schedule_action()
+            if action == CRASH:
+                # Abandon without close(): a crash runs no cleanup.
+                runnable[idx] = runnable[-1]
+                stalled[idx] = stalled[-1]
+                runnable.pop()
+                stalled.pop()
+                self.crashed_tasks += 1
+                continue
+            if action == STALL:
+                stalled[idx] = injector.plan.stall_steps
+                continue
+            task = runnable[idx]
+            try:
+                spawned = next(task)
+            except StopIteration:
+                runnable[idx] = runnable[-1]
+                stalled[idx] = stalled[-1]
+                runnable.pop()
+                stalled.pop()
+            else:
+                if spawned is not None:
+                    pending.append(spawned)
         self.steps_taken = steps
 
 
@@ -104,17 +184,54 @@ class ThreadedRunner:
     OpenMP ``schedule(dynamic)``); each thread drives one task to
     completion at a time.  Exceptions in workers are re-raised in the
     caller after all threads join.
+
+    With a :class:`~repro.parallel.faults.FaultInjector`, each thread
+    consults the injector before every task step: a stall briefly yields
+    the GIL ``stall_steps`` times (letting other threads race ahead), a
+    crash abandons the task mid-flight without cleanup.
     """
 
-    def __init__(self, num_threads: int):
+    def __init__(
+        self, num_threads: int, faults: "FaultInjector | None" = None
+    ):
         if num_threads < 1:
             raise SchedulerError(f"num_threads must be >= 1, got {num_threads}")
         self.num_threads = num_threads
+        self._faults = faults
+        #: number of tasks abandoned by injected crashes in the last run
+        self.crashed_tasks = 0
 
     def run(self, tasks: Iterable[TaskGen]) -> None:
         queue: deque[TaskGen] = deque(tasks)
         lock = threading.Lock()
         errors: list[BaseException] = []
+        injector = self._faults
+        self.crashed_tasks = 0
+
+        def drive_task(task: TaskGen) -> None:
+            if injector is None:
+                for spawned in task:
+                    if spawned is not None:
+                        with lock:
+                            queue.append(spawned)
+                return
+            while True:
+                action = injector.schedule_action()
+                if action == CRASH:
+                    with lock:
+                        self.crashed_tasks += 1
+                    return  # abandoned: no cleanup, like a dying worker
+                if action == STALL:
+                    for _ in range(injector.plan.stall_steps):
+                        time.sleep(0)  # release the GIL; others race ahead
+                    continue
+                try:
+                    spawned = next(task)
+                except StopIteration:
+                    return
+                if spawned is not None:
+                    with lock:
+                        queue.append(spawned)
 
         def worker() -> None:
             while True:
@@ -123,10 +240,7 @@ class ThreadedRunner:
                         return
                     task = queue.popleft()
                 try:
-                    for spawned in task:
-                        if spawned is not None:
-                            with lock:
-                                queue.append(spawned)
+                    drive_task(task)
                 except BaseException as exc:  # noqa: BLE001 - reraised below
                     with lock:
                         errors.append(exc)

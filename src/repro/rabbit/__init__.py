@@ -4,6 +4,7 @@ Public API: :func:`rabbit_order` (Algorithm 2) plus the component pieces
 (sequential and parallel community detection, ordering generation).
 """
 
+from repro.rabbit.audit import AuditReport, audit_dendrogram
 from repro.rabbit.common import AggregationState, RabbitStats
 from repro.rabbit.dynamic import DynamicReorderer, ReorderEvent
 from repro.rabbit.eager import community_detection_eager
@@ -29,4 +30,6 @@ __all__ = [
     "ParallelDetectionResult",
     "ordering_generation_seq",
     "ordering_generation_par",
+    "AuditReport",
+    "audit_dendrogram",
 ]

@@ -40,6 +40,14 @@ class RabbitStats:
     merges: int = 0
     toplevels: int = 0
     retries: int = 0
+    # Crash-recovery counters (only non-zero under fault injection; see
+    # repro.rabbit.par).  Fallback merges/toplevels are *sub-counters*:
+    # they are also included in `merges`/`toplevels`, so the invariant
+    # merges + toplevels == n holds with or without recovery.
+    orphans_recovered: int = 0  # vertices re-driven by the sequential pass
+    partial_repairs: int = 0  # committed-but-unrecorded merges repaired
+    fallback_merges: int = 0
+    fallback_toplevels: int = 0
     vertex_work: np.ndarray | None = None  # per-vertex edges scanned
 
     def merge_from(self, other: "RabbitStats") -> None:
@@ -47,6 +55,10 @@ class RabbitStats:
         self.merges += other.merges
         self.toplevels += other.toplevels
         self.retries += other.retries
+        self.orphans_recovered += other.orphans_recovered
+        self.partial_repairs += other.partial_repairs
+        self.fallback_merges += other.fallback_merges
+        self.fallback_toplevels += other.fallback_toplevels
 
 
 @dataclass

@@ -77,6 +77,8 @@ def rabbit_order(
     scheduler_seed: int | None = None,
     merge_threshold: float = 0.0,
     collect_vertex_work: bool = False,
+    fault_plan=None,
+    audit: bool = False,
 ) -> RabbitResult:
     """Compute the Rabbit Order permutation of *graph*.
 
@@ -93,6 +95,12 @@ def rabbit_order(
         real threads.
     merge_threshold:
         minimum ΔQ required to merge (paper: 0).
+    fault_plan:
+        when *parallel*, a :class:`~repro.parallel.faults.FaultPlan` to
+        inject (with crash recovery) during detection.
+    audit:
+        when *parallel*, run the post-run dendrogram auditor and raise
+        :class:`~repro.errors.AuditError` on any violated invariant.
 
     Returns
     -------
@@ -106,6 +114,8 @@ def rabbit_order(
             scheduler_seed=scheduler_seed,
             merge_threshold=merge_threshold,
             collect_vertex_work=collect_vertex_work,
+            fault_plan=fault_plan,
+            audit=audit,
         )
         perm = ordering_generation_par(result.dendrogram, num_threads)
         return RabbitResult(

@@ -22,6 +22,18 @@ Faithfulness notes relative to the paper's pseudocode:
   retry (the paper's line 25), with a retry cap after which the vertex is
   decided from valid neighbours only — this bounds livelock between
   mutually-retrying vertices, a case the paper leaves unspecified.
+
+Fault tolerance (beyond the paper): with a
+:class:`~repro.parallel.faults.FaultPlan`, the executors may stall or
+*crash* workers and the atomics may lie (forced CAS failures, spurious
+invalidation windows).  After the executors return, a recovery pass
+repairs the shared state a dead worker left behind — committed CAS merges
+whose ``dest`` write never landed, dangling pre-CAS ``sibling`` writes,
+vertices stranded in the invalidated state — and drives the residual
+(orphaned) vertex set through a *sequential* fallback aggregation pass.
+The fallback runs with injection disabled and all community degrees
+restored, so it cannot retry indefinitely: termination is guaranteed and
+the result is a complete dendrogram, auditable via ``audit=True``.
 """
 
 from __future__ import annotations
@@ -32,10 +44,18 @@ import numpy as np
 
 from repro.community.dendrogram import NO_VERTEX, Dendrogram
 from repro.community.modularity import newman_degrees
+from repro.errors import AuditError
 from repro.graph.csr import CSRGraph
 from repro.graph.validate import require_symmetric
 from repro.parallel.atomics import INVALID_DEGREE, AtomicPairArray, OpCounter
-from repro.parallel.scheduler import InterleavingScheduler, ThreadedRunner
+from repro.parallel.faults import (
+    FaultCounters,
+    FaultInjector,
+    FaultPlan,
+    FaultyAtomicPairArray,
+)
+from repro.parallel.scheduler import InterleavingScheduler, ThreadedRunner, drive
+from repro.rabbit.audit import AuditReport, audit_dendrogram
 from repro.rabbit.common import AggregationState, RabbitStats, aggregate_vertex
 
 __all__ = ["community_detection_par", "ParallelDetectionResult"]
@@ -51,6 +71,8 @@ class ParallelDetectionResult:
         op_counter: OpCounter,
         num_workers: int,
         worker_work: np.ndarray,
+        fault_counters: FaultCounters | None = None,
+        audit_report: AuditReport | None = None,
     ):
         self.dendrogram = dendrogram
         self.stats = stats
@@ -58,6 +80,10 @@ class ParallelDetectionResult:
         self.num_workers = num_workers
         #: edges folded by each worker (load-balance signal for the model)
         self.worker_work = worker_work
+        #: faults actually injected (None when fault injection is off)
+        self.fault_counters = fault_counters
+        #: post-run audit report (None unless ``audit=True``)
+        self.audit_report = audit_report
 
 
 def _worker(
@@ -146,6 +172,134 @@ def _worker(
             stats.toplevels += 1
 
 
+def _subtree_degree(
+    child: np.ndarray,
+    sibling: np.ndarray,
+    base_degrees: np.ndarray,
+    root: int,
+) -> float:
+    """Sum of the initial Newman degrees over *root*'s subtree.
+
+    This is exactly the degree mass the CAS protocol accumulates into a
+    community root, so it reconstructs the value a dead worker swapped
+    out and lost.  Traversal is bounded: corrupted links raise instead of
+    looping.
+    """
+    n = base_degrees.size
+    total = 0.0
+    stack = [int(root)]
+    visits = 0
+    while stack:
+        v = stack.pop()
+        total += float(base_degrees[v])
+        visits += 1
+        if visits > n or len(stack) > n:
+            raise AuditError(
+                "corrupted child/sibling links encountered while restoring "
+                f"the degree of vertex {root}"
+            )
+        c = int(child[v])
+        while c != NO_VERTEX:
+            stack.append(c)
+            c = int(sibling[c])
+    return total
+
+
+def _recover_from_faults(
+    state: AggregationState,
+    atoms: AtomicPairArray,
+    base_degrees: np.ndarray,
+    sinks: list[list[int]],
+    *,
+    merge_threshold: float,
+    max_attempts: int,
+) -> RabbitStats:
+    """Crash recovery: repair partial writes, then sequentially finish.
+
+    Call with fault injection already disabled.  Dead workers leave three
+    kinds of damage, each repaired here:
+
+    1. *committed-but-unrecorded merges* — the CAS landed (the vertex is
+       linked into a destination's child chain) but the worker died
+       before writing ``dest``; the merge is completed from the chain.
+    2. *dangling pre-CAS writes* — ``sibling`` was set (Algorithm 3
+       line 17) but the CAS never executed; the link is cleared.
+    3. *stranded invalidations* — the vertex's degree was swapped to
+       ``INVALID_DEGREE`` and the old value died with the worker; it is
+       reconstructed as the subtree sum of initial Newman degrees (the
+       protocol's conservation invariant).
+
+    The residual vertices (orphans: neither merged nor decided top-level,
+    including untouched vertices from a dead worker's queue) are then
+    driven through the normal worker logic *sequentially*.  With
+    injection off and every community degree valid, no retry path can
+    trigger, so this pass terminates in one sweep — bounded livelock
+    degrades to guaranteed termination with a complete dendrogram.
+    """
+    rec = RabbitStats()
+    n = base_degrees.size
+    dest = state.dest
+    sibling = state.sibling
+    child = atoms.children_view()
+    in_sink = np.zeros(n, dtype=bool)
+    for sink in sinks:
+        for u in sink:
+            in_sink[u] = True
+    # 1. Parents according to the authoritative CAS'd chains.
+    parent = np.full(n, NO_VERTEX, dtype=np.int64)
+    links = 0
+    for v in range(n):
+        c = int(child[v])
+        while c != NO_VERTEX:
+            parent[c] = v
+            links += 1
+            if links > n:
+                raise AuditError(
+                    "child/sibling links contain a cycle; cannot recover"
+                )
+            c = int(sibling[c])
+    chained = parent != NO_VERTEX
+    unmerged = dest == np.arange(n, dtype=np.int64)
+    # 2. Complete merges whose dest write was lost in a crash.
+    for u in np.flatnonzero(chained & unmerged):
+        dest[u] = parent[u]
+        rec.merges += 1
+        rec.partial_repairs += 1
+    # 3. Orphans: neither merged, nor in a chain, nor decided top-level.
+    orphans = np.flatnonzero(unmerged & ~chained & ~in_sink)
+    if orphans.size == 0:
+        return rec
+    rec.orphans_recovered = int(orphans.size)
+    for u in orphans:
+        u = int(u)
+        sibling[u] = NO_VERTEX  # clear a dangling pre-CAS sibling write
+        if atoms.load_degree(u) == INVALID_DEGREE:
+            atoms.store_degree(
+                u, _subtree_degree(child, sibling, base_degrees, u)
+            )
+    # 4. Sequential fallback pass, smallest base degree first (the same
+    # admission policy as the parallel run).
+    order = orphans[np.argsort(base_degrees[orphans], kind="stable")]
+    rec_sink: list[int] = []
+    fallback = RabbitStats()
+    drive(
+        _worker(
+            state,
+            atoms,
+            order,
+            rec_sink,
+            fallback,
+            merge_threshold=merge_threshold,
+            max_attempts=max_attempts,
+        )
+    )
+    rec.merge_from(fallback)
+    rec.fallback_merges = fallback.merges
+    rec.fallback_toplevels = fallback.toplevels
+    sinks.append(rec_sink)
+    return rec
+
+
 def community_detection_par(
     graph: CSRGraph,
     *,
@@ -155,6 +309,8 @@ def community_detection_par(
     merge_threshold: float = 0.0,
     max_attempts: int = 100,
     collect_vertex_work: bool = False,
+    fault_plan: FaultPlan | None = None,
+    audit: bool = False,
 ) -> ParallelDetectionResult:
     """Parallel incremental aggregation (Algorithm 3).
 
@@ -168,6 +324,15 @@ def community_detection_par(
     chunk_size:
         vertices per worker task; defaults to an even split into
         ``4 * num_threads`` chunks (dynamic scheduling smooths imbalance).
+    fault_plan:
+        inject faults from this seed-replayable plan (forced CAS
+        failures, spurious invalidation windows, worker stalls/crashes)
+        and run crash recovery afterwards.  ``None`` (the default) uses
+        the unfaulted atomics and executors — the hot path is untouched.
+    audit:
+        run the post-run integrity auditor
+        (:func:`repro.rabbit.audit.audit_dendrogram`) and raise
+        :class:`~repro.errors.AuditError` on any violated invariant.
     """
     require_symmetric(graph, "Rabbit Order")
     n = graph.num_vertices
@@ -178,16 +343,26 @@ def community_detection_par(
             sibling=np.full(n, NO_VERTEX, dtype=np.int64),
             toplevel=np.arange(n, dtype=np.int64),
         )
+        audit_report = None
+        if audit:
+            audit_report = audit_dendrogram(graph, dendrogram, stats=stats)
+            audit_report.raise_if_failed()
         return ParallelDetectionResult(
             dendrogram=dendrogram,
             stats=stats,
             op_counter=OpCounter(),
             num_workers=0,
             worker_work=np.zeros(0, dtype=np.int64),
+            audit_report=audit_report,
         )
     state = AggregationState.initialize(graph)
     counter = OpCounter()
-    atoms = AtomicPairArray(newman_degrees(graph), counter)
+    base_degrees = newman_degrees(graph)
+    injector = None if fault_plan is None else FaultInjector(fault_plan)
+    if injector is None:
+        atoms = AtomicPairArray(base_degrees, counter)
+    else:
+        atoms = FaultyAtomicPairArray(base_degrees, injector, counter)
     # Aggregation must see children the instant their CAS lands, exactly as
     # the paper's single 16-byte record guarantees: alias the dendrogram
     # child links to the atomic array's storage.
@@ -221,11 +396,25 @@ def community_detection_par(
     if scheduler_seed is not None:
         # Window = thread count: the scheduler models num_threads hardware
         # threads, each advancing one task, admitted in degree order.
-        InterleavingScheduler(seed=scheduler_seed).run(
+        InterleavingScheduler(seed=scheduler_seed, faults=injector).run(
             tasks, window=num_threads
         )
     else:
-        ThreadedRunner(num_threads).run(tasks)
+        ThreadedRunner(num_threads, faults=injector).run(tasks)
+
+    recovery_stats = None
+    if injector is not None:
+        # Recovery (and its sequential fallback pass) must see truthful
+        # atomics: no further injected lies or crashes.
+        injector.disable()
+        recovery_stats = _recover_from_faults(
+            state,
+            atoms,
+            base_degrees,
+            per_chunk_toplevel,
+            merge_threshold=merge_threshold,
+            max_attempts=max_attempts,
+        )
 
     stats = RabbitStats()
     if collect_vertex_work:
@@ -236,6 +425,8 @@ def community_detection_par(
         worker_work[i] = s.edges_scanned
         if collect_vertex_work and s.vertex_work is not None:
             stats.vertex_work += s.vertex_work
+    if recovery_stats is not None:
+        stats.merge_from(recovery_stats)
     toplevel = np.array(
         [u for sink in per_chunk_toplevel for u in sink], dtype=np.int64
     )
@@ -247,10 +438,18 @@ def community_detection_par(
         sibling=state.sibling.copy(),
         toplevel=toplevel,
     )
+    audit_report = None
+    if audit:
+        audit_report = audit_dendrogram(
+            graph, dendrogram, stats=stats, degrees=atoms.degrees_view()
+        )
+        audit_report.raise_if_failed()
     return ParallelDetectionResult(
         dendrogram=dendrogram,
         stats=stats,
         op_counter=counter,
         num_workers=len(chunks),
         worker_work=worker_work,
+        fault_counters=None if injector is None else injector.counters,
+        audit_report=audit_report,
     )

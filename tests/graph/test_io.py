@@ -162,3 +162,83 @@ class TestMatrixMarket:
         text = "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n"
         with pytest.raises(GraphFormatError, match="symmetry"):
             read_matrix_market(io.StringIO(text))
+
+
+class TestMetisHardening:
+    """Malformed tokens must surface as GraphFormatError with a line
+    number, never as raw ValueError/IndexError."""
+
+    def test_non_integer_neighbour_token(self):
+        with pytest.raises(GraphFormatError, match="line 2.*non-integer"):
+            read_metis(io.StringIO("2 1\nx\n1\n"))
+
+    def test_non_integer_header(self):
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            read_metis(io.StringIO("two 1\n2\n1\n"))
+
+    def test_negative_header_counts(self):
+        with pytest.raises(GraphFormatError, match="negative"):
+            read_metis(io.StringIO("-2 1\n"))
+
+    def test_non_numeric_edge_weight(self):
+        with pytest.raises(GraphFormatError, match="non-numeric"):
+            read_metis(io.StringIO("2 1 1\n2 bad\n1 1.0\n"))
+
+    def test_odd_weighted_tokens_report_line(self):
+        with pytest.raises(GraphFormatError, match="line 2.*odd token"):
+            read_metis(io.StringIO("2 1 1\n2\n1 1.0\n"))
+
+
+class TestMatrixMarketHardening:
+    def test_short_entry_line(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1\n"
+        with pytest.raises(GraphFormatError, match="line 3"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_non_integer_entry_index(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\na 2\n"
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_row_index_out_of_declared_range(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n"
+        with pytest.raises(GraphFormatError, match="out of the declared"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_zero_index_rejected(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n"
+        with pytest.raises(GraphFormatError, match="out of the declared"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_non_numeric_value(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 z\n"
+        with pytest.raises(GraphFormatError, match="non-numeric"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_short_size_line(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2\n"
+        with pytest.raises(GraphFormatError, match="size line"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_non_integer_size_line(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 x\n"
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_negative_size_line(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 -1\n"
+        with pytest.raises(GraphFormatError, match="negative"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_entry_line_numbers_count_from_file_start(self):
+        """Line numbers in errors refer to the actual file line (the
+        banner is line 1), not an offset restarted mid-file."""
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% a comment\n"
+            "2 2 2\n"
+            "1 2\n"
+            "9 1\n"
+        )
+        with pytest.raises(GraphFormatError, match="line 5"):
+            read_matrix_market(io.StringIO(text))

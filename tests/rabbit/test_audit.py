@@ -1,0 +1,166 @@
+"""Post-run dendrogram auditor: passes clean runs, catches corruption."""
+
+import numpy as np
+import pytest
+
+from repro.community.dendrogram import NO_VERTEX, Dendrogram
+from repro.community.modularity import newman_degrees
+from repro.errors import AuditError, GraphFormatError
+from repro.rabbit import audit_dendrogram, community_detection_par
+from repro.rabbit.common import RabbitStats
+
+
+def _clean_run(paper_graph):
+    return community_detection_par(paper_graph, scheduler_seed=0)
+
+
+class TestAuditPasses:
+    def test_clean_run_passes_all_checks(self, paper_graph):
+        res = _clean_run(paper_graph)
+        report = audit_dendrogram(paper_graph, res.dendrogram, stats=res.stats)
+        assert report.ok
+        assert "forest" in report.passed
+        assert "counts" in report.passed
+        assert "ordering-bijection" in report.passed
+        assert "modularity-finite" in report.passed
+
+    def test_degree_conservation_with_final_degrees(self, paper_graph):
+        res = community_detection_par(paper_graph, scheduler_seed=3)
+        # Reconstruct the final community degrees: each root holds the sum
+        # of its members' initial Newman degrees.
+        base = newman_degrees(paper_graph)
+        degrees = np.full(paper_graph.num_vertices, np.inf)
+        for r in res.dendrogram.toplevel:
+            degrees[int(r)] = base[res.dendrogram.members(int(r))].sum()
+        report = audit_dendrogram(
+            paper_graph, res.dendrogram, stats=res.stats, degrees=degrees
+        )
+        assert report.ok
+        assert "degree-conservation" in report.passed
+
+    def test_audit_flag_wired_into_detection(self, paper_graph):
+        res = community_detection_par(paper_graph, scheduler_seed=0, audit=True)
+        assert res.audit_report is not None
+        assert res.audit_report.ok
+
+    def test_skips_without_stats_or_degrees(self, paper_graph):
+        res = _clean_run(paper_graph)
+        report = audit_dendrogram(paper_graph, res.dendrogram)
+        assert report.ok
+        assert any("counts" in s for s in report.skipped)
+        assert any("degree-conservation" in s for s in report.skipped)
+
+
+class TestAuditCatchesCorruption:
+    def test_count_mismatch(self, paper_graph):
+        res = _clean_run(paper_graph)
+        stats = RabbitStats(
+            merges=res.stats.merges + 1, toplevels=res.stats.toplevels
+        )
+        report = audit_dendrogram(paper_graph, res.dendrogram, stats=stats)
+        assert not report.ok
+        assert any("counts" in v for v in report.violations)
+        with pytest.raises(AuditError):
+            report.raise_if_failed()
+
+    def test_vertex_in_two_subtrees(self, paper_graph):
+        res = _clean_run(paper_graph)
+        d = res.dendrogram
+        toplevel = np.concatenate([d.toplevel, d.toplevel[:1]])
+        bad = Dendrogram(child=d.child, sibling=d.sibling, toplevel=toplevel)
+        report = audit_dendrogram(paper_graph, bad)
+        assert not report.ok
+        assert any("forest" in v for v in report.violations)
+
+    def test_cycle_in_links_detected_not_looped(self, paper_graph):
+        n = paper_graph.num_vertices
+        child = np.full(n, NO_VERTEX, dtype=np.int64)
+        sibling = np.full(n, NO_VERTEX, dtype=np.int64)
+        child[0] = 1
+        child[1] = 0  # 0 -> 1 -> 0: a cycle
+        bad = Dendrogram(
+            child=child, sibling=sibling,
+            toplevel=np.arange(n, dtype=np.int64),
+        )
+        report = audit_dendrogram(paper_graph, bad)
+        assert not report.ok
+
+    def test_sibling_cycle_detected_not_looped(self, paper_graph):
+        n = paper_graph.num_vertices
+        child = np.full(n, NO_VERTEX, dtype=np.int64)
+        sibling = np.full(n, NO_VERTEX, dtype=np.int64)
+        child[0] = 1
+        sibling[1] = 2
+        sibling[2] = 1  # sibling chain 1 -> 2 -> 1 never terminates
+        bad = Dendrogram(
+            child=child, sibling=sibling,
+            toplevel=np.arange(n, dtype=np.int64),
+        )
+        report = audit_dendrogram(paper_graph, bad)
+        assert not report.ok
+
+    def test_degree_loss_detected(self, paper_graph):
+        res = _clean_run(paper_graph)
+        base = newman_degrees(paper_graph)
+        degrees = np.full(paper_graph.num_vertices, np.inf)
+        for r in res.dendrogram.toplevel:
+            degrees[int(r)] = base[res.dendrogram.members(int(r))].sum()
+        degrees[int(res.dendrogram.toplevel[0])] += 1.0  # lose/duplicate mass
+        report = audit_dendrogram(
+            paper_graph, res.dendrogram, degrees=degrees
+        )
+        assert not report.ok
+        assert any("degree-conservation" in v for v in report.violations)
+
+    def test_root_left_invalidated_detected(self, paper_graph):
+        res = _clean_run(paper_graph)
+        degrees = np.full(paper_graph.num_vertices, np.inf)  # all invalid
+        report = audit_dendrogram(paper_graph, res.dendrogram, degrees=degrees)
+        assert not report.ok
+        assert any("invalidated" in v for v in report.violations)
+
+    def test_size_mismatch(self, paper_graph):
+        d = Dendrogram(
+            child=np.full(3, NO_VERTEX, dtype=np.int64),
+            sibling=np.full(3, NO_VERTEX, dtype=np.int64),
+            toplevel=np.arange(3, dtype=np.int64),
+        )
+        report = audit_dendrogram(paper_graph, d)
+        assert not report.ok
+
+
+class TestDendrogramValidateRobustness:
+    """Dendrogram.validate() must terminate on corrupted links too."""
+
+    def test_child_cycle_raises(self):
+        n = 4
+        child = np.full(n, NO_VERTEX, dtype=np.int64)
+        sibling = np.full(n, NO_VERTEX, dtype=np.int64)
+        child[0] = 1
+        child[1] = 0
+        d = Dendrogram(child=child, sibling=sibling,
+                       toplevel=np.arange(n, dtype=np.int64))
+        with pytest.raises(GraphFormatError):
+            d.validate()
+
+    def test_sibling_cycle_raises(self):
+        n = 4
+        child = np.full(n, NO_VERTEX, dtype=np.int64)
+        sibling = np.full(n, NO_VERTEX, dtype=np.int64)
+        child[0] = 1
+        sibling[1] = 2
+        sibling[2] = 1
+        d = Dendrogram(child=child, sibling=sibling,
+                       toplevel=np.arange(n, dtype=np.int64))
+        with pytest.raises(GraphFormatError, match="cycle"):
+            d.validate()
+
+    def test_out_of_range_root_raises(self):
+        n = 2
+        d = Dendrogram(
+            child=np.full(n, NO_VERTEX, dtype=np.int64),
+            sibling=np.full(n, NO_VERTEX, dtype=np.int64),
+            toplevel=np.array([0, 1, 9], dtype=np.int64),
+        )
+        with pytest.raises(GraphFormatError, match="out of range"):
+            d.validate()

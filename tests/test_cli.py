@@ -103,3 +103,26 @@ class TestFormats:
         from repro.graph.io import read_matrix_market
 
         assert read_matrix_market(dst).num_vertices > 0
+
+
+class TestStress:
+    def test_quick_stress_smoke(self, capsys):
+        assert main(["stress", "--quick", "--scale", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "stress sweep" in out
+        assert "all runs passed the audit" in out
+
+    def test_stress_reports_failures_with_nonzero_exit(self, capsys, monkeypatch):
+        from repro.errors import AuditError
+        from repro.experiments import stress as stress_mod
+
+        def boom(*args, **kwargs):
+            raise AuditError("synthetic failure")
+
+        monkeypatch.setattr(stress_mod, "community_detection_par", boom)
+        assert main(["stress", "--quick", "--scale", "4"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_zero_seeds_rejected_not_vacuously_green(self, capsys):
+        assert main(["stress", "--seeds", "0", "--scale", "4"]) == 2
+        assert "--seeds must be >= 1" in capsys.readouterr().err
