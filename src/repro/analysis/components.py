@@ -14,6 +14,7 @@ import numpy as np
 from repro.analysis.traversal import bfs
 from repro.graph.csr import CSRGraph
 from repro.graph.validate import require_symmetric
+from repro.obs.trace import span
 
 __all__ = ["ComponentsResult", "connected_components", "largest_component"]
 
@@ -33,11 +34,12 @@ def connected_components(graph: CSRGraph) -> ComponentsResult:
     n = graph.num_vertices
     labels = np.full(n, -1, dtype=np.int64)
     comp = 0
-    for s in range(n):
-        if labels[s] != -1:
-            continue
-        labels[bfs(graph, s).order] = comp
-        comp += 1
+    with span("analysis.components", n=n):
+        for s in range(n):
+            if labels[s] != -1:
+                continue
+            labels[bfs(graph, s).order] = comp
+            comp += 1
     return ComponentsResult(labels=labels, num_components=comp)
 
 

@@ -16,6 +16,7 @@ import numpy as np
 from repro.analysis.traversal import bfs
 from repro.errors import GraphFormatError
 from repro.graph.csr import CSRGraph
+from repro.obs.trace import span
 
 __all__ = ["PseudoDiameterResult", "pseudo_diameter", "pseudo_peripheral_vertex"]
 
@@ -39,19 +40,20 @@ def pseudo_diameter(
     best = -1
     start = current
     sweeps = 0
-    while sweeps < max_sweeps:
-        r = bfs(graph, current)
-        sweeps += 1
-        ecc = r.eccentricity
-        # Farthest vertex; break ties toward the smallest degree (a common
-        # pseudo-peripheral refinement: low-degree extremes are "pointier").
-        far = r.order[r.level[r.order] == ecc]
-        deg = graph.degrees()[far]
-        nxt = int(far[np.argmin(deg)])
-        if ecc <= best:
-            break
-        best = ecc
-        start, current = current, nxt
+    with span("analysis.diameter", n=n):
+        while sweeps < max_sweeps:
+            r = bfs(graph, current)
+            sweeps += 1
+            ecc = r.eccentricity
+            # Farthest vertex; break ties toward the smallest degree (a common
+            # pseudo-peripheral refinement: low-degree extremes are "pointier").
+            far = r.order[r.level[r.order] == ecc]
+            deg = graph.degrees()[far]
+            nxt = int(far[np.argmin(deg)])
+            if ecc <= best:
+                break
+            best = ecc
+            start, current = current, nxt
     return PseudoDiameterResult(
         diameter=best, endpoints=(start, current), num_sweeps=sweeps
     )

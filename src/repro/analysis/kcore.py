@@ -13,12 +13,18 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.validate import require_symmetric
+from repro.obs.trace import span
 
 __all__ = ["core_numbers", "kcore_subgraph"]
 
 
 def core_numbers(graph: CSRGraph) -> np.ndarray:
     """Core number per vertex via bucketed peeling, O(m)."""
+    with span("analysis.kcore", n=graph.num_vertices):
+        return _core_numbers(graph)
+
+
+def _core_numbers(graph: CSRGraph) -> np.ndarray:
     require_symmetric(graph, "k-core decomposition")
     g = graph.without_self_loops()
     n = g.num_vertices

@@ -22,6 +22,7 @@ import numpy as np
 from repro.analysis.spmv import spmv
 from repro.errors import ConvergenceError
 from repro.graph.csr import CSRGraph
+from repro.obs.trace import span
 
 __all__ = ["PageRankResult", "pagerank", "DEFAULT_TELEPORT", "DEFAULT_TOLERANCE"]
 
@@ -64,18 +65,20 @@ def pagerank(
     base = teleport / n
     residual = np.inf
     iterations = 0
-    for iterations in range(1, max_iterations + 1):
-        spread = spmv(graph, s * inv_deg)
-        dangling_mass = float(s[dangling].sum()) / n
-        s_next = (1.0 - teleport) * (spread + dangling_mass) + base
-        residual = float(np.abs(s_next - s).sum())
-        s = s_next
-        if residual < tolerance:
-            break
-    else:
-        if raise_on_no_convergence:
-            raise ConvergenceError(
-                f"PageRank did not reach {tolerance} within {max_iterations} "
-                f"iterations (residual {residual:.3e})"
-            )
+    with span("analysis.pagerank", n=n) as sp:
+        for iterations in range(1, max_iterations + 1):
+            spread = spmv(graph, s * inv_deg)
+            dangling_mass = float(s[dangling].sum()) / n
+            s_next = (1.0 - teleport) * (spread + dangling_mass) + base
+            residual = float(np.abs(s_next - s).sum())
+            s = s_next
+            if residual < tolerance:
+                break
+        else:
+            if raise_on_no_convergence:
+                raise ConvergenceError(
+                    f"PageRank did not reach {tolerance} within {max_iterations} "
+                    f"iterations (residual {residual:.3e})"
+                )
+        sp.set(iterations=iterations)
     return PageRankResult(scores=s, iterations=iterations, residual=residual)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.obs.trace import span
 
 __all__ = ["SCCResult", "strongly_connected_components"]
 
@@ -32,6 +33,11 @@ class SCCResult:
 def strongly_connected_components(graph: CSRGraph) -> SCCResult:
     """Tarjan's algorithm, fully iterative (explicit stack; no recursion,
     so million-vertex path graphs are fine)."""
+    with span("analysis.scc", n=graph.num_vertices):
+        return _tarjan(graph)
+
+
+def _tarjan(graph: CSRGraph) -> SCCResult:
     n = graph.num_vertices
     indptr, indices = graph.indptr, graph.indices
     UNVISITED = -1

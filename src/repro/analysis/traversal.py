@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import GraphFormatError
 from repro.graph.csr import CSRGraph
+from repro.obs.trace import span
 
 __all__ = ["BFSResult", "DFSResult", "bfs", "bfs_forest", "dfs", "dfs_forest"]
 
@@ -76,31 +77,32 @@ def bfs(graph: CSRGraph, source: int, *, sorted_neighbors: bool = False) -> BFSR
     degrees = graph.degrees() if sorted_neighbors else None
     depth = 0
     indptr, indices = graph.indptr, graph.indices
-    while frontier.size:
-        depth += 1
-        # Gather all neighbours of the frontier in one shot.
-        counts = indptr[frontier + 1] - indptr[frontier]
-        total = int(counts.sum())
-        if total == 0:
-            break
-        starts = indptr[frontier]
-        # Build the slot index array [starts[0]..starts[0]+c0), ...
-        offsets = np.repeat(np.cumsum(counts) - counts, counts)
-        slot = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
-        nbrs = indices[slot]
-        srcs = np.repeat(frontier, counts)
-        fresh_mask = level[nbrs] == UNREACHED
-        nbrs, srcs = nbrs[fresh_mask], srcs[fresh_mask]
-        if nbrs.size == 0:
-            break
-        # First occurrence wins as the parent.
-        uniq, first = np.unique(nbrs, return_index=True)
-        level[uniq] = depth
-        parent[uniq] = srcs[first]
-        if sorted_neighbors:
-            uniq = uniq[np.argsort(degrees[uniq], kind="stable")]
-        order_chunks.append(uniq)
-        frontier = uniq
+    with span("analysis.bfs", n=n, source=source):
+        while frontier.size:
+            depth += 1
+            # Gather all neighbours of the frontier in one shot.
+            counts = indptr[frontier + 1] - indptr[frontier]
+            total = int(counts.sum())
+            if total == 0:
+                break
+            starts = indptr[frontier]
+            # Build the slot index array [starts[0]..starts[0]+c0), ...
+            offsets = np.repeat(np.cumsum(counts) - counts, counts)
+            slot = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
+            nbrs = indices[slot]
+            srcs = np.repeat(frontier, counts)
+            fresh_mask = level[nbrs] == UNREACHED
+            nbrs, srcs = nbrs[fresh_mask], srcs[fresh_mask]
+            if nbrs.size == 0:
+                break
+            # First occurrence wins as the parent.
+            uniq, first = np.unique(nbrs, return_index=True)
+            level[uniq] = depth
+            parent[uniq] = srcs[first]
+            if sorted_neighbors:
+                uniq = uniq[np.argsort(degrees[uniq], kind="stable")]
+            order_chunks.append(uniq)
+            frontier = uniq
     return BFSResult(
         order=np.concatenate(order_chunks), level=level, parent=parent
     )
@@ -147,26 +149,27 @@ def dfs(graph: CSRGraph, source: int) -> DFSResult:
     discovered[source] = clock
     clock += 1
     order.append(source)
-    while stack:
-        frame = stack[-1]
-        v, cursor = frame
-        end = int(indptr[v + 1])
-        advanced = False
-        while cursor < end:
-            t = int(indices[cursor])
-            cursor += 1
-            if discovered[t] == UNREACHED:
-                frame[1] = cursor
-                discovered[t] = clock
+    with span("analysis.dfs", n=n, source=source):
+        while stack:
+            frame = stack[-1]
+            v, cursor = frame
+            end = int(indptr[v + 1])
+            advanced = False
+            while cursor < end:
+                t = int(indices[cursor])
+                cursor += 1
+                if discovered[t] == UNREACHED:
+                    frame[1] = cursor
+                    discovered[t] = clock
+                    clock += 1
+                    order.append(t)
+                    stack.append([t, int(indptr[t])])
+                    advanced = True
+                    break
+            if not advanced:
+                finished[v] = clock
                 clock += 1
-                order.append(t)
-                stack.append([t, int(indptr[t])])
-                advanced = True
-                break
-        if not advanced:
-            finished[v] = clock
-            clock += 1
-            stack.pop()
+                stack.pop()
     return DFSResult(
         order=np.array(order, dtype=np.int64),
         discovered=discovered,

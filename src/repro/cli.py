@@ -16,6 +16,13 @@ Commands
 ``stress``
     Fault-injection stress sweep of the parallel pipeline (seeds × fault
     plans, audited); exits non-zero if any run fails its audit.
+``bench``
+    Run a benchmark suite and emit a schema-versioned ``BENCH_*.json``
+    baseline; ``--compare OLD.json`` judges the fresh run against a
+    committed baseline and exits non-zero on regression.
+
+``reorder``/``analyze`` time their work through the span tracer
+(:mod:`repro.obs.trace`); ``--verbose`` prints the per-phase breakdown.
 
 Graphs are read/written by extension: ``.npz`` (binary), ``.graph``
 (METIS), ``.mtx`` (MatrixMarket), anything else as a whitespace edge
@@ -26,12 +33,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.errors import ReproError
+from repro.obs import trace
 
 __all__ = ["main"]
 
@@ -69,14 +76,16 @@ def _cmd_reorder(args) -> int:
     from repro.order import get_algorithm
 
     graph = _load_graph(args.input)
-    t0 = time.perf_counter()
-    result = get_algorithm(args.algorithm)(graph, rng=args.seed)
-    dt = time.perf_counter() - t0
+    with trace.capture() as cap:
+        result = get_algorithm(args.algorithm)(graph, rng=args.seed)
+    dt = sum(root.duration for root in cap.roots)
     print(
         f"{args.algorithm} reordered {graph.num_vertices} vertices / "
         f"{graph.num_undirected_edges} edges in {dt:.2f}s "
         f"(work={result.stats.work:.0f})"
     )
+    if args.verbose:
+        print(cap.format())
     if args.perm_out:
         np.save(args.perm_out, result.permutation)
         print(f"permutation -> {args.perm_out}")
@@ -98,36 +107,39 @@ def _cmd_analyze(args) -> int:
     )
 
     graph = _load_graph(args.input)
-    t0 = time.perf_counter()
-    if args.analysis == "pagerank":
-        res = pagerank(graph)
-        top = np.argsort(-res.scores)[:5]
-        print(f"pagerank: {res.iterations} iterations, residual {res.residual:.2e}")
-        print("top vertices:", ", ".join(f"{int(v)}={res.scores[v]:.4g}" for v in top))
-    elif args.analysis == "bfs":
-        r = bfs(graph, args.source)
-        print(f"bfs from {args.source}: reached {r.num_reached}, "
-              f"eccentricity {r.eccentricity}")
-    elif args.analysis == "dfs":
-        r = dfs_forest(graph)
-        print(f"dfs: visited {r.order.size} vertices")
-    elif args.analysis == "scc":
-        r = strongly_connected_components(graph)
-        print(f"scc: {r.num_components} components, "
-              f"largest {int(r.component_sizes().max())}")
-    elif args.analysis == "components":
-        r = connected_components(graph)
-        print(f"components: {r.num_components}, "
-              f"largest {int(r.component_sizes().max())}")
-    elif args.analysis == "diameter":
-        r = pseudo_diameter(graph, source=args.source)
-        print(f"pseudo-diameter: {r.diameter} (endpoints {r.endpoints}, "
-              f"{r.num_sweeps} sweeps)")
-    elif args.analysis == "kcore":
-        core = core_numbers(graph)
-        print(f"k-core: max core {int(core.max(initial=0))}, "
-              f"mean {core.mean():.2f}")
-    print(f"[{time.perf_counter() - t0:.2f}s]")
+    with trace.capture() as cap:
+        with trace.span(f"analyze.{args.analysis}"):
+            if args.analysis == "pagerank":
+                res = pagerank(graph)
+                top = np.argsort(-res.scores)[:5]
+                print(f"pagerank: {res.iterations} iterations, residual {res.residual:.2e}")
+                print("top vertices:", ", ".join(f"{int(v)}={res.scores[v]:.4g}" for v in top))
+            elif args.analysis == "bfs":
+                r = bfs(graph, args.source)
+                print(f"bfs from {args.source}: reached {r.num_reached}, "
+                      f"eccentricity {r.eccentricity}")
+            elif args.analysis == "dfs":
+                r = dfs_forest(graph)
+                print(f"dfs: visited {r.order.size} vertices")
+            elif args.analysis == "scc":
+                r = strongly_connected_components(graph)
+                print(f"scc: {r.num_components} components, "
+                      f"largest {int(r.component_sizes().max())}")
+            elif args.analysis == "components":
+                r = connected_components(graph)
+                print(f"components: {r.num_components}, "
+                      f"largest {int(r.component_sizes().max())}")
+            elif args.analysis == "diameter":
+                r = pseudo_diameter(graph, source=args.source)
+                print(f"pseudo-diameter: {r.diameter} (endpoints {r.endpoints}, "
+                      f"{r.num_sweeps} sweeps)")
+            elif args.analysis == "kcore":
+                core = core_numbers(graph)
+                print(f"k-core: max core {int(core.max(initial=0))}, "
+                      f"mean {core.mean():.2f}")
+    print(f"[{sum(root.duration for root in cap.roots):.2f}s]")
+    if args.verbose:
+        print(cap.format())
     return 0
 
 
@@ -191,6 +203,47 @@ def _cmd_stress(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.obs import bench as ob
+    from repro.obs.schema import require_valid_bench
+
+    if args.list:
+        for name in ob.list_suites():
+            suite = ob.get_suite(name)
+            print(f"{name:<10} {suite.description}")
+        return 0
+    if args.validate:
+        doc = json.loads(Path(args.validate).read_text())
+        require_valid_bench(doc, source=args.validate)
+        print(f"{args.validate}: valid ({doc['schema']}, "
+              f"{len(doc['results'])} results)")
+        return 0
+    if args.against:
+        if not args.compare:
+            print("error: --against requires --compare BASELINE.json",
+                  file=sys.stderr)
+            return 2
+        baseline = ob.load_bench(args.compare)
+        current = ob.load_bench(args.against)
+        report = ob.compare(baseline, current,
+                            rel_tolerance=args.rel_tolerance)
+        print(report.table())
+        return 0 if report.ok else 1
+
+    doc = ob.run_suite(args.suite, repeats=args.repeats)
+    out = args.out or f"BENCH_{args.suite}.json"
+    ob.save_bench(doc, out)
+    print(f"suite {args.suite!r}: {len(doc['results'])} results -> {out}")
+    if args.compare:
+        baseline = ob.load_bench(args.compare)
+        report = ob.compare(baseline, doc, rel_tolerance=args.rel_tolerance)
+        print(report.table())
+        return 0 if report.ok else 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -204,6 +257,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--perm-out", help="write pi as .npy")
     p.add_argument("--graph-out", help="write the reordered graph")
+    p.add_argument("--verbose", "-v", action="store_true",
+                   help="print the per-phase span breakdown")
     p.set_defaults(fn=_cmd_reorder)
 
     p = sub.add_parser("analyze", help="run an analysis algorithm")
@@ -213,6 +268,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["pagerank", "bfs", "dfs", "scc", "components", "diameter", "kcore"],
     )
     p.add_argument("--source", type=int, default=0)
+    p.add_argument("--verbose", "-v", action="store_true",
+                   help="print the per-phase span breakdown")
     p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser("stats", help="graph statistics")
@@ -242,6 +299,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=4,
                    help="modelled hardware threads (scheduler window)")
     p.set_defaults(fn=_cmd_stress)
+
+    p = sub.add_parser(
+        "bench", help="run a benchmark suite / compare baselines"
+    )
+    p.add_argument("--suite", default="core",
+                   help="suite name (see --list); default: core")
+    p.add_argument("--out", help="output path (default BENCH_<suite>.json)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="override the suite's repeat count")
+    p.add_argument("--compare", metavar="OLD.json",
+                   help="judge this run (or --against FILE) against a baseline;"
+                        " exits 1 on regression")
+    p.add_argument("--against", metavar="NEW.json",
+                   help="compare two existing files instead of running")
+    p.add_argument("--validate", metavar="FILE.json",
+                   help="validate a baseline file against the schema and exit")
+    p.add_argument("--rel-tolerance", type=float, default=0.5,
+                   help="relative slowdown tolerated before REGRESSION")
+    p.add_argument("--list", action="store_true",
+                   help="list registered suites and exit")
+    p.set_defaults(fn=_cmd_bench)
     return parser
 
 

@@ -18,6 +18,7 @@ __all__ = [
     "AuditError",
     "CacheConfigError",
     "DatasetError",
+    "BenchFormatError",
 ]
 
 
@@ -65,3 +66,8 @@ class CacheConfigError(ReproError):
 class DatasetError(ReproError):
     """A dataset name is unknown to the registry or its parameters are
     inconsistent."""
+
+
+class BenchFormatError(ReproError):
+    """A benchmark baseline document violates the BENCH_*.json schema
+    (unknown schema id/version, missing phases, malformed results)."""

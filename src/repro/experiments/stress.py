@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from repro.errors import PermutationError, ReproError
 from repro.graph.generators import rmat_graph
 from repro.graph.perm import validate_permutation
+from repro.obs.metrics import counter_delta, get_registry
 from repro.parallel.faults import FaultPlan
 from repro.rabbit.par import community_detection_par
 
@@ -97,6 +98,10 @@ class StressReport:
 
     graph_desc: str
     outcomes: list[StressOutcome] = field(default_factory=list)
+    #: Metrics-registry counter increases attributable to this sweep
+    #: (``rabbit.*`` fault/recovery tallies, scheduler totals) — the
+    #: registry view of the same story the per-case table tells.
+    metrics: dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -135,6 +140,11 @@ class StressReport:
             )
         for o in self.failures:
             lines.append(f"FAILED {o.case} seed={o.seed}: {o.error}")
+        if self.metrics:
+            lines.append("")
+            lines.append("metrics registry (this sweep):")
+            for name, value in sorted(self.metrics.items()):
+                lines.append(f"  {name:<40} {value:>14.0f}")
         verdict = "all runs passed the audit" if self.ok else (
             f"{len(self.failures)} of {len(self.outcomes)} runs FAILED"
         )
@@ -210,9 +220,12 @@ def run_stress(
             f"{graph.num_undirected_edges} edges), {num_seeds} seeds/case"
         )
     )
+    registry = get_registry()
+    counters_before = registry.counter_values()
     for case in cases if cases is not None else DEFAULT_CASES:
         for seed in range(num_seeds):
             report.outcomes.append(
                 _run_cell(graph, case, seed, num_threads)
             )
+    report.metrics = counter_delta(counters_before, registry.counter_values())
     return report

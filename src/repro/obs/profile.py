@@ -1,0 +1,179 @@
+"""Profiling hooks attachable to the span tracer.
+
+A :class:`MemoryProbe` registers start/finish hooks on a
+:class:`~repro.obs.trace.Tracer`; every span then carries memory
+readings in its ``attrs``:
+
+* ``rss_peak_kb`` — the process peak RSS (``getrusage``) at span finish,
+  and ``rss_peak_delta_kb`` — how much the *peak* grew across the span
+  (0 for spans that stayed under the high-water mark).
+* with ``trace_allocations=True``, ``tracemalloc`` deltas:
+  ``alloc_current_delta_kb`` (net Python/numpy allocations surviving the
+  span) and ``alloc_peak_kb`` (peak traced usage observed at finish).
+  NumPy >= 1.22 routes array buffers through tracemalloc's domain, so
+  this captures per-phase ndarray allocation deltas too.
+* with ``track_ndarrays=True``, an exact-but-slow gc sweep:
+  ``ndarray_live_delta_kb`` — the change in live ndarray bytes across
+  the span.  Only sensible on coarse phases (it walks ``gc`` objects at
+  every span boundary).
+
+Probes are strictly opt-in: an unprobed tracer runs no hooks, and a
+disabled tracer never reaches them at all.
+
+Usage::
+
+    from repro.obs import profile, trace
+
+    with profile.memory_probe(trace_allocations=True):
+        with trace.capture() as cap:
+            run_workload()
+    cap.roots[0].attrs["rss_peak_delta_kb"]
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+from contextlib import contextmanager
+from typing import Iterator
+
+try:  # resource is POSIX-only; degrade rather than fail on Windows.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    resource = None  # type: ignore[assignment]
+
+from repro.obs.trace import Span, Tracer, get_tracer
+
+__all__ = ["peak_rss_kb", "ndarray_live_kb", "MemoryProbe", "memory_probe"]
+
+
+def peak_rss_kb() -> float:
+    """Process peak resident-set size in KiB (0.0 where unsupported).
+
+    ``ru_maxrss`` is a high-water mark: monotone, so per-span deltas show
+    only *growth* of the peak, never reuse of already-charted memory.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX fallback
+        return 0.0
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # Linux reports KiB; macOS reports bytes.
+    divisor = 1024.0 if usage.ru_maxrss > 1 << 30 else 1.0
+    return float(usage.ru_maxrss) / divisor
+
+
+def ndarray_live_kb() -> float:
+    """Total bytes (KiB) of live numpy ndarrays reachable via gc.
+
+    Plain ndarrays are not themselves gc-tracked (they hold no object
+    references), and CPython *untracks* containers holding only atomic
+    values — so ``{"x": array}`` is invisible to ``gc.get_objects()``
+    too.  The sweep therefore starts from every tracked object and
+    descends through untracked containers (tracked referents are already
+    in the root set), tallying the base arrays found.  Exact for
+    container-held arrays but slow; use only around coarse phases.
+    """
+    import numpy as np
+
+    containers = (tuple, list, dict, set, frozenset)
+    seen: set[int] = set()
+    total = 0
+    stack: list[object] = gc.get_objects()
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, np.ndarray):
+            if obj.base is None:
+                total += obj.nbytes
+            continue
+        for ref in gc.get_referents(obj):
+            if isinstance(ref, np.ndarray) or (
+                isinstance(ref, containers) and not gc.is_tracked(ref)
+            ):
+                stack.append(ref)
+    return total / 1024.0
+
+
+class MemoryProbe:
+    """Span hooks that annotate every span with memory readings."""
+
+    def __init__(
+        self,
+        *,
+        trace_allocations: bool = False,
+        track_ndarrays: bool = False,
+    ):
+        self.trace_allocations = trace_allocations
+        self.track_ndarrays = track_ndarrays
+        self._tracer: Tracer | None = None
+        self._started_tracemalloc = False
+
+    # -- hooks ----------------------------------------------------------
+    def _on_start(self, span: Span) -> None:
+        span.attrs["_rss_peak_start_kb"] = peak_rss_kb()
+        if self.trace_allocations:
+            current, _peak = tracemalloc.get_traced_memory()
+            span.attrs["_alloc_current_start_kb"] = current / 1024.0
+        if self.track_ndarrays:
+            span.attrs["_ndarray_start_kb"] = ndarray_live_kb()
+
+    def _on_finish(self, span: Span) -> None:
+        peak = peak_rss_kb()
+        span.attrs["rss_peak_kb"] = round(peak, 1)
+        start = span.attrs.pop("_rss_peak_start_kb", peak)
+        span.attrs["rss_peak_delta_kb"] = round(max(peak - start, 0.0), 1)
+        if self.trace_allocations:
+            current, alloc_peak = tracemalloc.get_traced_memory()
+            start_kb = span.attrs.pop("_alloc_current_start_kb", 0.0)
+            span.attrs["alloc_current_delta_kb"] = round(
+                current / 1024.0 - start_kb, 1
+            )
+            span.attrs["alloc_peak_kb"] = round(alloc_peak / 1024.0, 1)
+        if self.track_ndarrays:
+            start_kb = span.attrs.pop("_ndarray_start_kb", 0.0)
+            span.attrs["ndarray_live_delta_kb"] = round(
+                ndarray_live_kb() - start_kb, 1
+            )
+
+    # -- lifecycle ------------------------------------------------------
+    def attach(self, tracer: Tracer | None = None) -> "MemoryProbe":
+        """Register the hooks (on the global tracer by default)."""
+        if self._tracer is not None:
+            raise RuntimeError("probe is already attached")
+        if self.trace_allocations and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._tracer.add_hooks(on_start=self._on_start, on_finish=self._on_finish)
+        return self
+
+    def detach(self) -> None:
+        """Unregister the hooks and stop tracemalloc if we started it."""
+        if self._tracer is None:
+            return
+        self._tracer.remove_hooks(
+            on_start=self._on_start, on_finish=self._on_finish
+        )
+        self._tracer = None
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+
+
+@contextmanager
+def memory_probe(
+    tracer: Tracer | None = None,
+    *,
+    trace_allocations: bool = False,
+    track_ndarrays: bool = False,
+) -> Iterator[MemoryProbe]:
+    """Attach a :class:`MemoryProbe` for the duration of the block."""
+    probe = MemoryProbe(
+        trace_allocations=trace_allocations, track_ndarrays=track_ndarrays
+    )
+    probe.attach(tracer)
+    try:
+        yield probe
+    finally:
+        probe.detach()

@@ -1,0 +1,180 @@
+"""Schema for the machine-readable benchmark baselines (``BENCH_*.json``).
+
+The bench runner (:mod:`repro.obs.bench`) emits schema-versioned JSON so
+baselines committed at one PR remain comparable at every later PR.  The
+schema is validated *structurally* here with a hand-rolled checker — no
+``jsonschema`` dependency — and documented for humans in
+``docs/BENCH_FORMAT.md``.
+
+Top-level document::
+
+    {
+      "schema": "repro.bench/1",
+      "schema_version": 1,
+      "suite": "core",
+      "created_unix": 1754500000.0,
+      "environment": {"python": "...", "numpy": "...", "platform": "..."},
+      "results": [<result>, ...]
+    }
+
+Each ``<result>`` is one (graph, ordering) cell::
+
+    {
+      "graph": "rmat-s8", "num_vertices": 256, "num_edges": 3210,
+      "ordering": "Rabbit", "repeats": 1,
+      "phases": {
+        "reorder_s": 0.123,
+        "analysis_s": {"pagerank": 0.456, "bfs": 0.01},
+        "analysis_total_s": 0.466
+      },
+      "total_s": 0.589,
+      "spans": {"rabbit.detect": 0.1, ...},     # per-phase span totals
+      "locality": {"average_neighbor_gap": 12.3, ...},
+      "counters": {"rabbit.merges": 200.0, ...}  # registry delta
+    }
+
+Any schema change bumps ``schema_version`` (and the ``/N`` suffix of the
+schema id) and must keep :func:`validate_bench` able to reject older
+majors with a clear message.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import BenchFormatError
+
+__all__ = [
+    "SCHEMA_ID",
+    "SCHEMA_VERSION",
+    "validate_bench",
+    "require_valid_bench",
+]
+
+SCHEMA_VERSION = 1
+SCHEMA_ID = f"repro.bench/{SCHEMA_VERSION}"
+
+_REQUIRED_TOP = {
+    "schema": str,
+    "schema_version": int,
+    "suite": str,
+    "created_unix": (int, float),
+    "environment": dict,
+    "results": list,
+}
+
+_REQUIRED_RESULT = {
+    "graph": str,
+    "num_vertices": int,
+    "num_edges": int,
+    "ordering": str,
+    "repeats": int,
+    "phases": dict,
+    "total_s": (int, float),
+    "spans": dict,
+    "locality": dict,
+    "counters": dict,
+}
+
+_REQUIRED_ENVIRONMENT = ("python", "numpy", "platform")
+
+
+def _check_number_map(
+    errors: list[str], where: str, mapping: Any, *, allow_empty: bool = True
+) -> None:
+    if not isinstance(mapping, dict):
+        errors.append(f"{where}: expected an object, got {type(mapping).__name__}")
+        return
+    if not allow_empty and not mapping:
+        errors.append(f"{where}: must not be empty")
+    for key, value in mapping.items():
+        if not isinstance(key, str):
+            errors.append(f"{where}: non-string key {key!r}")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{where}[{key!r}]: expected a number, got {value!r}")
+
+
+def _validate_result(errors: list[str], i: int, result: Any) -> None:
+    where = f"results[{i}]"
+    if not isinstance(result, dict):
+        errors.append(f"{where}: expected an object, got {type(result).__name__}")
+        return
+    for key, typ in _REQUIRED_RESULT.items():
+        if key not in result:
+            errors.append(f"{where}: missing key {key!r}")
+        elif not isinstance(result[key], typ) or isinstance(result[key], bool):
+            errors.append(
+                f"{where}.{key}: expected {typ if isinstance(typ, tuple) else typ.__name__}, "
+                f"got {type(result[key]).__name__}"
+            )
+    if isinstance(result.get("num_vertices"), int) and result["num_vertices"] < 0:
+        errors.append(f"{where}.num_vertices: must be >= 0")
+    if isinstance(result.get("repeats"), int) and result["repeats"] < 1:
+        errors.append(f"{where}.repeats: must be >= 1")
+    phases = result.get("phases")
+    if isinstance(phases, dict):
+        reorder_s = phases.get("reorder_s")
+        if not isinstance(reorder_s, (int, float)) or isinstance(reorder_s, bool):
+            errors.append(f"{where}.phases.reorder_s: expected a number")
+        elif reorder_s < 0:
+            errors.append(f"{where}.phases.reorder_s: must be >= 0")
+        _check_number_map(
+            errors, f"{where}.phases.analysis_s", phases.get("analysis_s"),
+            allow_empty=False,
+        )
+        total = phases.get("analysis_total_s")
+        if not isinstance(total, (int, float)) or isinstance(total, bool):
+            errors.append(f"{where}.phases.analysis_total_s: expected a number")
+    for key in ("spans", "locality", "counters"):
+        if isinstance(result.get(key), dict):
+            _check_number_map(errors, f"{where}.{key}", result[key])
+
+
+def validate_bench(doc: Any) -> list[str]:
+    """Structurally validate a bench document; returns the error list
+    (empty when valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document: expected an object, got {type(doc).__name__}"]
+    for key, typ in _REQUIRED_TOP.items():
+        if key not in doc:
+            errors.append(f"document: missing key {key!r}")
+        elif not isinstance(doc[key], typ) or isinstance(doc[key], bool):
+            errors.append(
+                f"document.{key}: expected "
+                f"{typ if isinstance(typ, tuple) else typ.__name__}, "
+                f"got {type(doc[key]).__name__}"
+            )
+    if isinstance(doc.get("schema"), str) and doc["schema"] != SCHEMA_ID:
+        errors.append(
+            f"document.schema: expected {SCHEMA_ID!r}, got {doc['schema']!r}"
+        )
+    if (
+        isinstance(doc.get("schema_version"), int)
+        and doc["schema_version"] != SCHEMA_VERSION
+    ):
+        errors.append(
+            f"document.schema_version: expected {SCHEMA_VERSION}, "
+            f"got {doc['schema_version']}"
+        )
+    env = doc.get("environment")
+    if isinstance(env, dict):
+        for key in _REQUIRED_ENVIRONMENT:
+            if not isinstance(env.get(key), str):
+                errors.append(f"document.environment.{key}: expected a string")
+    results = doc.get("results")
+    if isinstance(results, list):
+        if not results:
+            errors.append("document.results: must not be empty")
+        for i, result in enumerate(results):
+            _validate_result(errors, i, result)
+    return errors
+
+
+def require_valid_bench(doc: Any, source: str = "bench document") -> None:
+    """Raise :class:`~repro.errors.BenchFormatError` when *doc* is invalid."""
+    errors = validate_bench(doc)
+    if errors:
+        shown = "; ".join(errors[:8])
+        more = f" (+{len(errors) - 8} more)" if len(errors) > 8 else ""
+        raise BenchFormatError(f"{source} failed schema validation: {shown}{more}")

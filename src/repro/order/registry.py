@@ -11,7 +11,7 @@ from typing import Callable
 
 from repro.errors import DatasetError
 from repro.graph.csr import CSRGraph
-from repro.order.base import OrderingResult
+from repro.order.base import OrderingResult, traced_ordering
 from repro.order.bfs_rcm import bfs_order, cuthill_mckee_order, rcm_order
 from repro.order.llp import llp_order
 from repro.order.nd import nd_order
@@ -24,17 +24,23 @@ __all__ = ["ALGORITHMS", "TABLE3_ORDER", "get_algorithm", "list_algorithms"]
 
 OrderingFn = Callable[..., OrderingResult]
 
+# Every entry is wrapped with the standard instrumentation (span +
+# registry counters) at construction, so direct ``ALGORITHMS[name]``
+# calls and ``get_algorithm`` dispatch are measured identically.
 ALGORITHMS: dict[str, OrderingFn] = {
-    "Rabbit": rabbit_order_result,
-    "Slash": slashburn_order,
-    "BFS": bfs_order,
-    "RCM": rcm_order,
-    "CM": cuthill_mckee_order,
-    "ND": nd_order,
-    "LLP": llp_order,
-    "Shingle": shingle_order,
-    "Degree": degree_order,
-    "Random": random_order,
+    name: traced_ordering(name, fn)
+    for name, fn in {
+        "Rabbit": rabbit_order_result,
+        "Slash": slashburn_order,
+        "BFS": bfs_order,
+        "RCM": rcm_order,
+        "CM": cuthill_mckee_order,
+        "ND": nd_order,
+        "LLP": llp_order,
+        "Shingle": shingle_order,
+        "Degree": degree_order,
+        "Random": random_order,
+    }.items()
 }
 
 #: The competitors as listed in Table III (Random last: the baseline).

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Callable, Generator, Iterable
 import numpy as np
 
 from repro.errors import LivelockError, SchedulerError
+from repro.obs.metrics import get_registry
 from repro.parallel.faults import CRASH, STALL
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
@@ -117,6 +118,9 @@ class InterleavingScheduler:
                     "likely a livelock in a retry loop"
                 )
         self.steps_taken = steps
+        registry = get_registry()
+        registry.counter("scheduler.interleave.runs").inc()
+        registry.counter("scheduler.interleave.steps").inc(steps)
 
     def _run_with_faults(
         self, tasks: Iterable[TaskGen], *, window: int | None = None
@@ -175,6 +179,12 @@ class InterleavingScheduler:
                 if spawned is not None:
                     pending.append(spawned)
         self.steps_taken = steps
+        registry = get_registry()
+        registry.counter("scheduler.interleave.runs").inc()
+        registry.counter("scheduler.interleave.steps").inc(steps)
+        registry.counter("scheduler.interleave.crashed_tasks").inc(
+            self.crashed_tasks
+        )
 
 
 class ThreadedRunner:
@@ -207,6 +217,7 @@ class ThreadedRunner:
         errors: list[BaseException] = []
         injector = self._faults
         self.crashed_tasks = 0
+        num_tasks = len(queue)
 
         def drive_task(task: TaskGen) -> None:
             if injector is None:
@@ -257,6 +268,12 @@ class ThreadedRunner:
                 t.start()
             for t in threads:
                 t.join()
+        registry = get_registry()
+        registry.counter("scheduler.threaded.runs").inc()
+        registry.counter("scheduler.threaded.tasks").inc(num_tasks)
+        registry.counter("scheduler.threaded.crashed_tasks").inc(
+            self.crashed_tasks
+        )
         if errors:
             raise errors[0]
 

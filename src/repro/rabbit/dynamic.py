@@ -25,6 +25,8 @@ from repro.errors import GraphFormatError
 from repro.graph.csr import CSRGraph
 from repro.graph.perm import identity_permutation
 from repro.metrics.locality import average_neighbor_gap
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.rabbit.order import rabbit_order
 
 __all__ = ["DynamicReorderer", "ReorderEvent"]
@@ -167,10 +169,11 @@ class DynamicReorderer:
     def reorder(self) -> ReorderEvent:
         """Re-run Rabbit Order on the accumulated graph now."""
         staleness = self.staleness()
-        g = self._materialize()
-        result = rabbit_order(
-            g, parallel=self.parallel, num_threads=self.num_threads
-        )
+        with span("rabbit.dynamic.reorder", staleness=round(staleness, 4)):
+            g = self._materialize()
+            result = rabbit_order(
+                g, parallel=self.parallel, num_threads=self.num_threads
+            )
         self.permutation = result.permutation
         self._edges_at_last_reorder = g.num_edges
         self._inserted_since_reorder = 0
@@ -180,4 +183,7 @@ class DynamicReorderer:
             num_communities=result.num_communities,
         )
         self.events.append(event)
+        registry = get_registry()
+        registry.counter("dynamic.reorders").inc()
+        registry.gauge("dynamic.staleness_at_reorder").set(staleness)
         return event

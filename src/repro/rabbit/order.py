@@ -14,6 +14,7 @@ import numpy as np
 from repro.community.dendrogram import Dendrogram
 from repro.graph.csr import CSRGraph
 from repro.graph.perm import permutation_from_order
+from repro.obs.trace import span
 from repro.parallel.scheduler import ThreadedRunner
 from repro.rabbit.common import RabbitStats
 from repro.rabbit.par import ParallelDetectionResult, community_detection_par
@@ -108,26 +109,30 @@ def rabbit_order(
         with ``permutation[old_id] = new_id``.
     """
     if parallel:
-        result = community_detection_par(
-            graph,
-            num_threads=num_threads,
-            scheduler_seed=scheduler_seed,
-            merge_threshold=merge_threshold,
-            collect_vertex_work=collect_vertex_work,
-            fault_plan=fault_plan,
-            audit=audit,
-        )
-        perm = ordering_generation_par(result.dendrogram, num_threads)
+        with span("rabbit.detect", parallel=True, n=graph.num_vertices):
+            result = community_detection_par(
+                graph,
+                num_threads=num_threads,
+                scheduler_seed=scheduler_seed,
+                merge_threshold=merge_threshold,
+                collect_vertex_work=collect_vertex_work,
+                fault_plan=fault_plan,
+                audit=audit,
+            )
+        with span("rabbit.ordering", parallel=True):
+            perm = ordering_generation_par(result.dendrogram, num_threads)
         return RabbitResult(
             permutation=perm,
             dendrogram=result.dendrogram,
             stats=result.stats,
             parallel=result,
         )
-    dendrogram, stats = community_detection_seq(
-        graph,
-        merge_threshold=merge_threshold,
-        collect_vertex_work=collect_vertex_work,
-    )
-    perm = ordering_generation_seq(dendrogram)
+    with span("rabbit.detect", parallel=False, n=graph.num_vertices):
+        dendrogram, stats = community_detection_seq(
+            graph,
+            merge_threshold=merge_threshold,
+            collect_vertex_work=collect_vertex_work,
+        )
+    with span("rabbit.ordering", parallel=False):
+        perm = ordering_generation_seq(dendrogram)
     return RabbitResult(permutation=perm, dendrogram=dendrogram, stats=stats)

@@ -47,6 +47,8 @@ from repro.community.modularity import newman_degrees
 from repro.errors import AuditError
 from repro.graph.csr import CSRGraph
 from repro.graph.validate import require_symmetric
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.parallel.atomics import INVALID_DEGREE, AtomicPairArray, OpCounter
 from repro.parallel.faults import (
     FaultCounters,
@@ -343,6 +345,7 @@ def community_detection_par(
             sibling=np.full(n, NO_VERTEX, dtype=np.int64),
             toplevel=np.arange(n, dtype=np.int64),
         )
+        get_registry().absorb_rabbit_stats(stats)
         audit_report = None
         if audit:
             audit_report = audit_dendrogram(graph, dendrogram, stats=stats)
@@ -355,26 +358,27 @@ def community_detection_par(
             worker_work=np.zeros(0, dtype=np.int64),
             audit_report=audit_report,
         )
-    state = AggregationState.initialize(graph)
-    counter = OpCounter()
-    base_degrees = newman_degrees(graph)
-    injector = None if fault_plan is None else FaultInjector(fault_plan)
-    if injector is None:
-        atoms = AtomicPairArray(base_degrees, counter)
-    else:
-        atoms = FaultyAtomicPairArray(base_degrees, injector, counter)
-    # Aggregation must see children the instant their CAS lands, exactly as
-    # the paper's single 16-byte record guarantees: alias the dendrogram
-    # child links to the atomic array's storage.
-    state.child = atoms.children_view()
-    order = np.argsort(graph.degrees(), kind="stable")
-    if chunk_size is None:
-        # Fine-grained dynamic chunks keep the in-flight vertices close
-        # together in the degree-sorted order (the paper's threads pull
-        # individual vertices): a wide per-thread degree window measurably
-        # hurts community quality.
-        chunk_size = max(1, min(32, -(-n // max(1, 8 * num_threads))))
-    chunks = [order[i : i + chunk_size] for i in range(0, n, chunk_size)]
+    with span("rabbit.par.setup", n=n):
+        state = AggregationState.initialize(graph)
+        counter = OpCounter()
+        base_degrees = newman_degrees(graph)
+        injector = None if fault_plan is None else FaultInjector(fault_plan)
+        if injector is None:
+            atoms = AtomicPairArray(base_degrees, counter)
+        else:
+            atoms = FaultyAtomicPairArray(base_degrees, injector, counter)
+        # Aggregation must see children the instant their CAS lands, exactly as
+        # the paper's single 16-byte record guarantees: alias the dendrogram
+        # child links to the atomic array's storage.
+        state.child = atoms.children_view()
+        order = np.argsort(graph.degrees(), kind="stable")
+        if chunk_size is None:
+            # Fine-grained dynamic chunks keep the in-flight vertices close
+            # together in the degree-sorted order (the paper's threads pull
+            # individual vertices): a wide per-thread degree window measurably
+            # hurts community quality.
+            chunk_size = max(1, min(32, -(-n // max(1, 8 * num_threads))))
+        chunks = [order[i : i + chunk_size] for i in range(0, n, chunk_size)]
 
     per_chunk_stats = [RabbitStats() for _ in chunks]
     per_chunk_toplevel: list[list[int]] = [[] for _ in chunks]
@@ -393,28 +397,36 @@ def community_detection_par(
         )
         for i, chunk in enumerate(chunks)
     ]
-    if scheduler_seed is not None:
-        # Window = thread count: the scheduler models num_threads hardware
-        # threads, each advancing one task, admitted in degree order.
-        InterleavingScheduler(seed=scheduler_seed, faults=injector).run(
-            tasks, window=num_threads
-        )
-    else:
-        ThreadedRunner(num_threads, faults=injector).run(tasks)
+    with span(
+        "rabbit.par.aggregate",
+        n=n,
+        workers=len(chunks),
+        threads=num_threads,
+        deterministic=scheduler_seed is not None,
+    ):
+        if scheduler_seed is not None:
+            # Window = thread count: the scheduler models num_threads hardware
+            # threads, each advancing one task, admitted in degree order.
+            InterleavingScheduler(seed=scheduler_seed, faults=injector).run(
+                tasks, window=num_threads
+            )
+        else:
+            ThreadedRunner(num_threads, faults=injector).run(tasks)
 
     recovery_stats = None
     if injector is not None:
         # Recovery (and its sequential fallback pass) must see truthful
         # atomics: no further injected lies or crashes.
         injector.disable()
-        recovery_stats = _recover_from_faults(
-            state,
-            atoms,
-            base_degrees,
-            per_chunk_toplevel,
-            merge_threshold=merge_threshold,
-            max_attempts=max_attempts,
-        )
+        with span("rabbit.par.recover", n=n):
+            recovery_stats = _recover_from_faults(
+                state,
+                atoms,
+                base_degrees,
+                per_chunk_toplevel,
+                merge_threshold=merge_threshold,
+                max_attempts=max_attempts,
+            )
 
     stats = RabbitStats()
     if collect_vertex_work:
@@ -438,11 +450,19 @@ def community_detection_par(
         sibling=state.sibling.copy(),
         toplevel=toplevel,
     )
+    # Fold this run's counters into the process-wide metrics registry so
+    # harnesses (bench, stress) read one coherent snapshot.
+    registry = get_registry()
+    registry.absorb_rabbit_stats(stats)
+    registry.absorb_op_counter(counter.snapshot())
+    if injector is not None:
+        registry.absorb_fault_counters(injector.counters)
     audit_report = None
     if audit:
-        audit_report = audit_dendrogram(
-            graph, dendrogram, stats=stats, degrees=atoms.degrees_view()
-        )
+        with span("rabbit.par.audit", n=n):
+            audit_report = audit_dendrogram(
+                graph, dendrogram, stats=stats, degrees=atoms.degrees_view()
+            )
         audit_report.raise_if_failed()
     return ParallelDetectionResult(
         dendrogram=dendrogram,

@@ -14,6 +14,8 @@ from repro.community.dendrogram import Dendrogram
 from repro.community.modularity import newman_degrees
 from repro.graph.csr import CSRGraph
 from repro.graph.validate import require_symmetric
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.rabbit.common import AggregationState, RabbitStats, aggregate_vertex
 
 __all__ = ["community_detection_seq"]
@@ -50,11 +52,12 @@ def community_detection_seq(
     """
     require_symmetric(graph, "Rabbit Order")
     n = graph.num_vertices
-    state = AggregationState.initialize(graph)
-    stats = RabbitStats()
-    if collect_vertex_work:
-        stats.vertex_work = np.zeros(n, dtype=np.int64)
-    comm_deg = newman_degrees(graph)
+    with span("rabbit.seq.setup", n=n):
+        state = AggregationState.initialize(graph)
+        stats = RabbitStats()
+        if collect_vertex_work:
+            stats.vertex_work = np.zeros(n, dtype=np.int64)
+        comm_deg = newman_degrees(graph)
     m = state.total_weight
     toplevel: list[int] = []
     if m <= 0.0:
@@ -83,31 +86,35 @@ def community_detection_seq(
     dest = state.dest
     child = state.child
     sibling = state.sibling
-    for u_np in order:
-        u = int(u_np)
-        neighbors = aggregate_vertex(state, u, stats)
-        best_v = -1
-        best_dq = -np.inf
-        d_u = comm_deg[u]
-        # dQ = 2*(w/(2m) - d_u*d_v/(2m)^2); constants factored out of the loop.
-        inv_2m = 1.0 / two_m
-        penalty = d_u / (two_m * two_m)
-        for v, w in neighbors.items():
-            dq = 2.0 * (w * inv_2m - comm_deg[v] * penalty)
-            if dq > best_dq:
-                best_dq = dq
-                best_v = v
-        if best_v < 0 or best_dq <= merge_threshold:
-            toplevel.append(u)
-            stats.toplevels += 1
-            continue
-        # Merge u into best_v: register u as a community member (lazy
-        # aggregation defers the edge rewrite to when best_v is processed).
-        dest[u] = best_v
-        sibling[u] = child[best_v]
-        child[best_v] = u
-        comm_deg[best_v] += d_u
-        stats.merges += 1
+    # One span brackets the whole aggregation sweep (never per vertex:
+    # the disabled-tracer hot path must stay free).
+    with span("rabbit.seq.aggregate", n=n):
+        for u_np in order:
+            u = int(u_np)
+            neighbors = aggregate_vertex(state, u, stats)
+            best_v = -1
+            best_dq = -np.inf
+            d_u = comm_deg[u]
+            # dQ = 2*(w/(2m) - d_u*d_v/(2m)^2); constants factored out of the loop.
+            inv_2m = 1.0 / two_m
+            penalty = d_u / (two_m * two_m)
+            for v, w in neighbors.items():
+                dq = 2.0 * (w * inv_2m - comm_deg[v] * penalty)
+                if dq > best_dq:
+                    best_dq = dq
+                    best_v = v
+            if best_v < 0 or best_dq <= merge_threshold:
+                toplevel.append(u)
+                stats.toplevels += 1
+                continue
+            # Merge u into best_v: register u as a community member (lazy
+            # aggregation defers the edge rewrite to when best_v is processed).
+            dest[u] = best_v
+            sibling[u] = child[best_v]
+            child[best_v] = u
+            comm_deg[best_v] += d_u
+            stats.merges += 1
+    get_registry().absorb_rabbit_stats(stats)
     return (
         Dendrogram(
             child=child,

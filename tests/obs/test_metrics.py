@@ -1,0 +1,168 @@
+"""Metrics registry: counters, gauges, histograms, absorbers."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    counter_delta,
+    get_registry,
+    set_registry,
+)
+from repro.parallel.faults import FaultCounters
+from repro.rabbit.common import RabbitStats
+
+
+@pytest.fixture
+def registry():
+    r = MetricsRegistry()
+    prev = set_registry(r)
+    yield r
+    set_registry(prev)
+
+
+class TestInstruments:
+    def test_counter_monotonic(self, registry):
+        c = registry.counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_and_add(self, registry):
+        g = registry.gauge("g")
+        g.set(3.5)
+        g.add(1.5)
+        assert g.value == 5.0
+
+    def test_histogram_aggregates(self, registry):
+        h = registry.histogram("h")
+        for v in (1.0, 2.0, 3.0, 10.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.min == 1.0
+        assert h.max == 10.0
+        assert h.mean == 4.0
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 10.0
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_same_name_returns_same_instrument(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_conflict_rejected(self, registry):
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_counter_thread_safety(self, registry):
+        c = registry.counter("x")
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestRegistryViews:
+    def test_snapshot_covers_all_types(self, registry):
+        registry.counter("a").inc(2)
+        registry.gauge("b").set(7)
+        registry.histogram("c").observe(1.0)
+        snap = registry.snapshot()
+        assert snap["a"] == {"type": "counter", "value": 2.0}
+        assert snap["b"]["type"] == "gauge"
+        assert snap["c"]["count"] == 1
+
+    def test_counter_values_prefix_filter(self, registry):
+        registry.counter("rabbit.merges").inc(3)
+        registry.counter("scheduler.steps").inc(9)
+        registry.gauge("rabbit.g").set(1)  # gauges excluded
+        assert registry.counter_values("rabbit.") == {"rabbit.merges": 3.0}
+
+    def test_counter_delta_drops_zero_and_handles_new(self, registry):
+        registry.counter("a").inc(1)
+        before = registry.counter_values()
+        registry.counter("a").inc(2)
+        registry.counter("b").inc(5)
+        registry.counter("c")  # untouched -> zero delta, dropped
+        delta = counter_delta(before, registry.counter_values())
+        assert delta == {"a": 2.0, "b": 5.0}
+
+    def test_reset(self, registry):
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.names() == []
+
+
+class TestAbsorbers:
+    def test_absorb_rabbit_stats(self, registry):
+        stats = RabbitStats(
+            edges_scanned=10, merges=4, toplevels=2, retries=1,
+            orphans_recovered=1, partial_repairs=2, fallback_merges=3,
+            fallback_toplevels=1,
+        )
+        registry.absorb_rabbit_stats(stats)
+        vals = registry.counter_values("rabbit.")
+        assert vals["rabbit.merges"] == 4
+        assert vals["rabbit.fallback_toplevels"] == 1
+        registry.absorb_rabbit_stats(stats)  # accumulates across runs
+        assert registry.counter_values("rabbit.")["rabbit.merges"] == 8
+
+    def test_absorb_op_counter_snapshot(self, registry):
+        registry.absorb_op_counter({"cas_attempts": 12, "loads": 30})
+        vals = registry.counter_values("rabbit.atomics.")
+        assert vals == {
+            "rabbit.atomics.cas_attempts": 12.0,
+            "rabbit.atomics.loads": 30.0,
+        }
+
+    def test_absorb_fault_counters(self, registry):
+        counters = FaultCounters(
+            forced_cas_failures=5, spurious_invalid_reads=2, stalls=1, crashes=1
+        )
+        registry.absorb_fault_counters(counters)
+        vals = registry.counter_values("rabbit.faults.")
+        assert vals["rabbit.faults.forced_cas_failures"] == 5
+        assert vals["rabbit.faults.crashes"] == 1
+
+
+class TestPipelineFeedsRegistry:
+    def test_sequential_detection_absorbs_stats(self, registry):
+        from repro.graph.generators import rmat_graph
+        from repro.rabbit.seq import community_detection_seq
+
+        g = rmat_graph(5, edge_factor=4, rng=1)
+        before = registry.counter_values()
+        community_detection_seq(g)
+        delta = counter_delta(before, registry.counter_values())
+        assert delta.get("rabbit.merges", 0) + delta.get("rabbit.toplevels", 0) \
+            == g.num_vertices
+
+    def test_parallel_detection_absorbs_atomics_and_faults(self, registry):
+        from repro.graph.generators import rmat_graph
+        from repro.parallel.faults import FaultPlan
+        from repro.rabbit.par import community_detection_par
+
+        g = rmat_graph(5, edge_factor=4, rng=1)
+        before = registry.counter_values()
+        community_detection_par(
+            g, scheduler_seed=0,
+            fault_plan=FaultPlan(seed=0, cas_failure_rate=0.5),
+        )
+        delta = counter_delta(before, registry.counter_values())
+        assert delta.get("rabbit.atomics.cas_success", 0) > 0
+        assert "rabbit.faults.forced_cas_failures" in delta
+        assert delta.get("scheduler.interleave.runs", 0) >= 1
+
+    def test_global_registry_is_shared(self):
+        assert get_registry() is get_registry()

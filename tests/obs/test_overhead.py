@@ -1,0 +1,71 @@
+"""Guard: the always-on instrumentation must stay effectively free.
+
+Two independent defences, neither timing-flaky:
+
+1. A micro-bound on the disabled ``span()`` call itself — one attribute
+   check returning a shared singleton has to stay orders of magnitude
+   under any real work unit; the bound below is deliberately generous
+   (sub-microsecond work allowed 10 us) so only a structural mistake
+   (allocating a Span, reading the clock while disabled) trips it.
+2. A span *census*: running the instrumented pipeline under capture on a
+   few-hundred-vertex graph must produce a handful of coarse phase spans,
+   never O(n) of them.  This pins the "no spans in per-vertex loops"
+   rule, which is what actually keeps the enabled path cheap.
+"""
+
+import time
+
+from repro.graph.generators import hierarchical_community_graph
+from repro.obs import trace
+
+
+class TestDisabledPath:
+    def test_disabled_span_call_is_cheap(self):
+        assert not trace.is_enabled()
+        n = 20_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with trace.span("hot"):
+                pass
+        per_call = (time.perf_counter() - t0) / n
+        assert per_call < 10e-6, f"disabled span cost {per_call * 1e6:.2f}us/call"
+
+    def test_disabled_span_allocates_nothing(self):
+        spans = {id(trace.span("a")) for _ in range(100)}
+        assert len(spans) == 1  # always the shared _NULL_SPAN
+
+
+class TestSpanCensus:
+    def test_no_per_vertex_spans_in_sequential_pipeline(self):
+        from repro.rabbit.order import rabbit_order
+
+        g = hierarchical_community_graph(300, rng=2).graph
+        with trace.capture() as cap:
+            rabbit_order(g, parallel=False)
+        count = sum(1 for _ in cap.walk())
+        assert 0 < count < 20, (
+            f"{count} spans for a 300-vertex run -- per-vertex "
+            "instrumentation has leaked into a hot loop"
+        )
+
+    def test_no_per_vertex_spans_in_parallel_pipeline(self):
+        from repro.rabbit.order import rabbit_order
+
+        g = hierarchical_community_graph(300, rng=2).graph
+        with trace.capture() as cap:
+            rabbit_order(g, parallel=True)
+        count = sum(1 for _ in cap.walk())
+        assert 0 < count < 20
+
+    def test_analysis_kernels_emit_one_span_each(self):
+        from repro.analysis.pagerank import pagerank
+        from repro.analysis.traversal import bfs
+
+        g = hierarchical_community_graph(300, rng=2).graph
+        with trace.capture() as cap:
+            pagerank(g)
+            bfs(g, 0)
+        totals = cap.phase_totals()
+        assert set(totals) == {"analysis.pagerank", "analysis.bfs"}
+        assert len(cap.find("analysis.pagerank")) == 1
+        assert len(cap.find("analysis.bfs")) == 1

@@ -1,0 +1,82 @@
+"""Memory-profiling hooks."""
+
+import numpy as np
+import pytest
+
+from repro.obs import trace
+from repro.obs.profile import MemoryProbe, memory_probe, ndarray_live_kb, peak_rss_kb
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    prev = trace.set_tracer(t)
+    yield t
+    trace.set_tracer(prev)
+
+
+class TestReadings:
+    def test_peak_rss_positive_on_posix(self):
+        assert peak_rss_kb() > 0
+
+    def test_ndarray_live_tracks_allocation(self):
+        # Held via a gc-tracked container: bare locals are invisible to
+        # gc on modern CPython (lazy frame objects).
+        before = ndarray_live_kb()
+        keep = [np.zeros(1 << 18)]  # 2 MiB
+        after = ndarray_live_kb()
+        assert after - before >= 1024  # at least 1 MiB more live
+        del keep
+
+
+class TestProbe:
+    def test_spans_annotated_with_rss(self, tracer):
+        with memory_probe(tracer):
+            with tracer.capture() as cap:
+                with trace.span("phase"):
+                    pass
+        attrs = cap.roots[0].attrs
+        assert attrs["rss_peak_kb"] > 0
+        assert attrs["rss_peak_delta_kb"] >= 0
+        assert "_rss_peak_start_kb" not in attrs  # scratch keys cleaned up
+
+    def test_allocation_delta_sees_numpy_buffers(self, tracer):
+        with memory_probe(tracer, trace_allocations=True):
+            with tracer.capture() as cap:
+                with trace.span("alloc") as s:
+                    s.attrs["_keep"] = np.zeros(1 << 17)  # 1 MiB, survives span
+        attrs = cap.roots[0].attrs
+        assert attrs["alloc_current_delta_kb"] >= 512
+        assert attrs["alloc_peak_kb"] > 0
+
+    def test_ndarray_tracking(self, tracer):
+        with memory_probe(tracer, track_ndarrays=True):
+            with tracer.capture() as cap:
+                with trace.span("alloc") as s:
+                    s.attrs["_keep"] = np.zeros(1 << 17)
+        assert cap.roots[0].attrs["ndarray_live_delta_kb"] >= 512
+
+    def test_detach_stops_annotating(self, tracer):
+        probe = MemoryProbe()
+        probe.attach(tracer)
+        probe.detach()
+        with tracer.capture() as cap:
+            with trace.span("phase"):
+                pass
+        assert "rss_peak_kb" not in cap.roots[0].attrs
+
+    def test_double_attach_rejected(self, tracer):
+        probe = MemoryProbe()
+        probe.attach(tracer)
+        try:
+            with pytest.raises(RuntimeError):
+                probe.attach(tracer)
+        finally:
+            probe.detach()
+
+    def test_unprobed_disabled_tracer_untouched(self, tracer):
+        # No probe + disabled tracer: the hot path must stay hook-free.
+        with trace.span("phase"):
+            pass
+        assert tracer.roots == []

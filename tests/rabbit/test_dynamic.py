@@ -95,3 +95,46 @@ class TestDynamicReorderer:
         dr = DynamicReorderer(CSRGraph.empty(10), staleness_threshold=0.5)
         dr.add_edge(0, 1)
         validate_permutation(dr.permutation, 10)
+
+    def test_below_threshold_is_noop(self):
+        """Insertions that keep staleness under the threshold must not
+        reorder: no new events, same permutation, edges stay pending."""
+        dr = DynamicReorderer(base_graph(), staleness_threshold=0.99)
+        perm_before = dr.permutation.copy()
+        events_before = len(dr.events)
+        for u, v in [(0, 50), (1, 51), (2, 52)]:
+            assert dr.add_edge(u, v) is False
+        assert len(dr.events) == events_before
+        assert np.array_equal(dr.permutation, perm_before)
+        assert dr.pending_edges == 3
+        assert 0.0 < dr.staleness() < dr.staleness_threshold
+
+    def test_event_log_is_complete_and_consistent(self):
+        """Every reorder leaves exactly one event whose fields reflect
+        the state at the decision point."""
+        dr = DynamicReorderer(base_graph(), staleness_threshold=0.05)
+        rng = np.random.default_rng(9)
+        triggered = 0
+        for _ in range(120):
+            u, v = rng.integers(0, 200, 2)
+            triggered += dr.add_edge(int(u), int(v))
+        # 1 construction event + one per triggered insertion, no more.
+        assert len(dr.events) == 1 + triggered
+        assert triggered >= 1
+        first, *rest = dr.events
+        assert first.staleness_before == pytest.approx(0.0)
+        for e in rest:
+            assert e.staleness_before >= dr.staleness_threshold
+            assert e.num_communities >= 1
+            assert e.edges_at_reorder > 0
+
+    def test_reorder_emits_span_and_counter(self):
+        from repro.obs import trace
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        before = registry.counter_values().get("dynamic.reorders", 0.0)
+        with trace.capture() as cap:
+            DynamicReorderer(base_graph(), staleness_threshold=0.5)
+        assert len(cap.find("rabbit.dynamic.reorder")) == 1
+        assert registry.counter_values()["dynamic.reorders"] == before + 1

@@ -41,6 +41,19 @@ class TestReorder:
         assert main(["reorder", path, "-a", "Quicksort"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_verbose_prints_span_breakdown(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main(["reorder", path, "-a", "Rabbit", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "order.Rabbit" in out
+        assert "rabbit.detect" in out
+        assert "ms" in out
+
+    def test_non_verbose_hides_breakdown(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main(["reorder", path, "-a", "Rabbit"]) == 0
+        assert "rabbit.detect" not in capsys.readouterr().out
+
 
 class TestAnalyze:
     MARKERS = {
@@ -58,6 +71,13 @@ class TestAnalyze:
         path, _ = graph_file
         assert main(["analyze", path, analysis]) == 0
         assert self.MARKERS[analysis] in capsys.readouterr().out
+
+    def test_verbose_prints_span_breakdown(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main(["analyze", path, "pagerank", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "analyze.pagerank" in out
+        assert "analysis.pagerank" in out
 
 
 class TestStats:
@@ -111,6 +131,9 @@ class TestStress:
         out = capsys.readouterr().out
         assert "stress sweep" in out
         assert "all runs passed the audit" in out
+        # Fault/recovery tallies now surface via the metrics registry.
+        assert "metrics registry (this sweep):" in out
+        assert "rabbit.merges" in out
 
     def test_stress_reports_failures_with_nonzero_exit(self, capsys, monkeypatch):
         from repro.errors import AuditError
