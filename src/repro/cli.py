@@ -75,9 +75,19 @@ def _save_graph(graph, path: str) -> None:
 def _cmd_reorder(args) -> int:
     from repro.order import get_algorithm
 
+    kwargs = {}
+    if args.engine:
+        if args.algorithm not in ("Rabbit", "RabbitDict"):
+            print(
+                f"error: --engine applies to the Rabbit orderings, "
+                f"not {args.algorithm!r}",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["engine"] = args.engine
     graph = _load_graph(args.input)
     with trace.capture() as cap:
-        result = get_algorithm(args.algorithm)(graph, rng=args.seed)
+        result = get_algorithm(args.algorithm)(graph, rng=args.seed, **kwargs)
     dt = sum(root.duration for root in cap.roots)
     print(
         f"{args.algorithm} reordered {graph.num_vertices} vertices / "
@@ -254,6 +264,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("reorder", help="reorder a graph")
     p.add_argument("input", help="graph file (.npz/.graph/.mtx/edge list)")
     p.add_argument("--algorithm", "-a", default="Rabbit")
+    p.add_argument("--engine", choices=["fast", "dict"],
+                   help="Rabbit aggregation engine: vectorised flat-array "
+                        "(fast, default) or the reference dict engine; "
+                        "both produce identical permutations")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--perm-out", help="write pi as .npy")
     p.add_argument("--graph-out", help="write the reordered graph")

@@ -20,7 +20,7 @@ child first, matching the paper's running example where DFS from top-level
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -41,6 +41,12 @@ class Dendrogram:
     child: np.ndarray  # int64, child[v] = last vertex merged into v
     sibling: np.ndarray  # int64, sibling[u] = previous vertex merged into u's parent
     toplevel: np.ndarray  # int64, roots in detection order
+    # Lazily-built plain-list mirrors of child/sibling: DFS traversals are
+    # per-node scalar reads, where list indexing beats ndarray indexing by
+    # a wide margin.  Built once per dendrogram (the arrays are frozen).
+    _links_cache: tuple | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         child = np.asarray(self.child, dtype=np.int64)
@@ -111,6 +117,36 @@ class Dendrogram:
         return sizes
 
     # ------------------------------------------------------------------
+    def _link_lists(self) -> tuple[list[int], list[int]]:
+        cached = self._links_cache
+        if cached is None:
+            cached = (self.child.tolist(), self.sibling.tolist())
+            object.__setattr__(self, "_links_cache", cached)
+        return cached
+
+    def _reverse_preorder(self, roots: list[int]) -> list[int]:
+        """Shared DFS core: the post-order visit, computed backwards.
+
+        ``reversed(postorder(v))`` is a *preorder* that visits children
+        first-merged-first, so one flat stack with a single push/pop per
+        vertex suffices — no (vertex, expanded) marker pairs, no per-node
+        chain lists.  Pushing roots in forest order and each child chain
+        in most-recent-first order makes the pops produce exactly that
+        reversed sequence; the caller reverses once at the end.
+        """
+        child, sibling = self._link_lists()
+        out: list[int] = []
+        stack = list(roots)
+        while stack:
+            v = stack.pop()
+            out.append(v)
+            c = child[v]
+            while c != NO_VERTEX:
+                stack.append(c)
+                c = sibling[c]
+        out.reverse()
+        return out
+
     def dfs_visit_order(self, toplevel_subset: np.ndarray | None = None) -> np.ndarray:
         """Post-order DFS visit order over the forest (old vertex ids in
         their new positions): for each root, children subtrees first
@@ -120,38 +156,14 @@ class Dendrogram:
         order; invert it (``permutation_from_order``) to get π.
         """
         roots = self.toplevel if toplevel_subset is None else toplevel_subset
-        out = np.empty(0, dtype=np.int64)
-        chunks: list[np.ndarray] = []
-        for root in roots:
-            chunks.append(self._dfs_single(int(root)))
-        if chunks:
-            out = np.concatenate(chunks)
-        return out
+        return np.array(
+            self._reverse_preorder([int(r) for r in np.asarray(roots)]),
+            dtype=np.int64,
+        )
 
     def _dfs_single(self, root: int) -> np.ndarray:
         """Post-order DFS of one tree, iterative (graphs can be deep)."""
-        out: list[int] = []
-        # Stack holds (vertex, child-iterator-state); we emulate post-order
-        # with an explicit "expanded" marker.
-        stack: list[tuple[int, bool]] = [(root, False)]
-        while stack:
-            v, expanded = stack.pop()
-            if expanded:
-                out.append(v)
-                continue
-            stack.append((v, True))
-            # Push children so the most-recently merged child is processed
-            # first: chain order is already most-recent-first, and pushing
-            # in reverse makes the first-pushed popped last, so push the
-            # chain reversed.
-            chain: list[int] = []
-            c = int(self.child[v])
-            while c != NO_VERTEX:
-                chain.append(c)
-                c = int(self.sibling[c])
-            for c in reversed(chain):
-                stack.append((c, False))
-        return np.array(out, dtype=np.int64)
+        return np.array(self._reverse_preorder([int(root)]), dtype=np.int64)
 
     def ordering(self) -> np.ndarray:
         """Permutation π with ``π[old] = new`` (Algorithm 2's output)."""

@@ -214,14 +214,33 @@ class CSRGraph:
         return self.weights is not None
 
     def row_of_slot(self) -> np.ndarray:
-        """Array of length ``m`` giving the source vertex of each slot."""
-        return np.repeat(
-            np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
-        )
+        """Array of length ``m`` giving the source vertex of each slot.
+
+        Cached after the first call (O(m) to rebuild, and hot: SpMV asks
+        for it every iteration) and marked read-only — copy before
+        mutating.
+        """
+        cache = self._symmetric_cache
+        if "row_of_slot" not in cache:
+            arr = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
+            )
+            arr.setflags(write=False)
+            cache["row_of_slot"] = arr
+        return cache["row_of_slot"]
 
     def degrees(self) -> np.ndarray:
-        """Out-degree of each vertex (number of slots)."""
-        return np.diff(self.indptr)
+        """Out-degree of each vertex (number of slots).
+
+        Cached after the first call and marked read-only — copy before
+        mutating.
+        """
+        cache = self._symmetric_cache
+        if "degrees" not in cache:
+            arr = np.diff(self.indptr)
+            arr.setflags(write=False)
+            cache["degrees"] = arr
+        return cache["degrees"]
 
     def weighted_degrees(self) -> np.ndarray:
         """Sum of incident edge weights per vertex (slot weights; a loop's
@@ -233,10 +252,20 @@ class CSRGraph:
         return out
 
     def edge_weights(self) -> np.ndarray:
-        """Weights array, materialising implicit unit weights."""
+        """Weights array, materialising implicit unit weights.
+
+        The materialised unit array is cached after the first call and
+        marked read-only — copy before mutating.  (Weighted graphs return
+        ``self.weights`` directly, as before.)
+        """
         if self.weights is not None:
             return self.weights
-        return np.ones(self.num_edges, dtype=np.float64)
+        cache = self._symmetric_cache
+        if "unit_weights" not in cache:
+            arr = np.ones(self.num_edges, dtype=np.float64)
+            arr.setflags(write=False)
+            cache["unit_weights"] = arr
+        return cache["unit_weights"]
 
     def total_edge_weight(self) -> float:
         """Total undirected edge weight: half the slot-weight sum plus half
@@ -263,8 +292,11 @@ class CSRGraph:
             yield int(row[k]), int(self.indices[k]), float(w[k])
 
     def edge_array(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """``(src, dst, w)`` arrays over all directed slots."""
-        return self.row_of_slot(), self.indices.copy(), self.edge_weights()
+        """``(src, dst, w)`` arrays over all directed slots.
+
+        ``src`` and ``dst`` are fresh writable copies; ``w`` aliases the
+        (possibly cached) weights array."""
+        return self.row_of_slot().copy(), self.indices.copy(), self.edge_weights()
 
     # ------------------------------------------------------------------
     # Structure queries

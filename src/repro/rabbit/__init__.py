@@ -4,8 +4,10 @@ Public API: :func:`rabbit_order` (Algorithm 2) plus the component pieces
 (sequential and parallel community detection, ordering generation).
 """
 
+from repro.rabbit.arena import AdjacencyArena
 from repro.rabbit.audit import AuditReport, audit_dendrogram
 from repro.rabbit.common import AggregationState, RabbitStats
+from repro.rabbit.fastseq import community_detection_fastseq
 from repro.rabbit.dynamic import DynamicReorderer, ReorderEvent
 from repro.rabbit.eager import community_detection_eager
 from repro.rabbit.order import (
@@ -23,6 +25,8 @@ __all__ = [
     "RabbitStats",
     "AggregationState",
     "community_detection_seq",
+    "community_detection_fastseq",
+    "AdjacencyArena",
     "community_detection_par",
     "community_detection_eager",
     "DynamicReorderer",

@@ -135,10 +135,12 @@ def aggregate_vertex(
     """Fold the edges of *u*'s community into a community-level adjacency.
 
     Returns the dict mapping each neighbouring community ``v`` (a current
-    top-level vertex, ``v != u``) to the total inter-community weight
-    ``w_uv``; the community self-loop is stored under key ``u``.  The
-    result is also installed as ``state.adj[u]`` (Algorithm 4 line 9:
-    aggregated edges are reattached to ``u``).
+    top-level vertex) to the total inter-community weight ``w_uv``, plus
+    the community self-loop under key ``u`` — always the *last* inserted
+    key, so insertion-order iteration visits real neighbours first.
+    Callers scoring merge candidates must skip key ``u``.  The same dict
+    is installed as ``state.adj[u]`` (Algorithm 4 line 9: aggregated
+    edges are reattached to ``u``), so no per-vertex copy is made.
     """
     dest = state.dest
     acc: dict[int, float] = {}
@@ -163,7 +165,6 @@ def aggregate_vertex(
     stats.edges_scanned += scanned
     if stats.vertex_work is not None:
         stats.vertex_work[u] += scanned
-    result = dict(acc)
-    result[u] = loop
-    state.adj[u] = result
+    acc[u] = loop
+    state.adj[u] = acc
     return acc

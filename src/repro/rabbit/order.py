@@ -80,6 +80,7 @@ def rabbit_order(
     collect_vertex_work: bool = False,
     fault_plan=None,
     audit: bool = False,
+    engine: str = "fast",
 ) -> RabbitResult:
     """Compute the Rabbit Order permutation of *graph*.
 
@@ -90,6 +91,11 @@ def rabbit_order(
         ordering generation; otherwise the sequential variants.
     num_threads:
         threads for the parallel variant.
+    engine:
+        sequential detection engine: ``"fast"`` (vectorised flat-array
+        aggregation, the default) or ``"dict"`` (the reference per-edge
+        implementation).  Both are bit-identical; ignored when
+        *parallel* is set.
     scheduler_seed:
         when *parallel*, run detection under the deterministic
         interleaving scheduler with this seed (replayable) instead of
@@ -127,11 +133,12 @@ def rabbit_order(
             stats=result.stats,
             parallel=result,
         )
-    with span("rabbit.detect", parallel=False, n=graph.num_vertices):
+    with span("rabbit.detect", parallel=False, n=graph.num_vertices, engine=engine):
         dendrogram, stats = community_detection_seq(
             graph,
             merge_threshold=merge_threshold,
             collect_vertex_work=collect_vertex_work,
+            engine=engine,
         )
     with span("rabbit.ordering", parallel=False):
         perm = ordering_generation_seq(dendrogram)

@@ -121,6 +121,8 @@ def _worker(
         penalty = degree_u / (two_m * two_m)
         inv_2m = 1.0 / two_m
         for v, w in neighbors.items():
+            if v == u:  # self-loop entry (always inserted last); skipped
+                continue  # before the yield to keep interleavings stable
             yield
             d_v = atoms.load_degree(v)
             if d_v == INVALID_DEGREE:

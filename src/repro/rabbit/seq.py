@@ -28,6 +28,7 @@ def community_detection_seq(
     merge_threshold: float = 0.0,
     visit: str = "degree",
     visit_rng: int | None = 0,
+    engine: str = "fast",
 ) -> tuple[Dendrogram, RabbitStats]:
     """Extract hierarchical communities by incremental aggregation.
 
@@ -45,11 +46,29 @@ def community_detection_seq(
         ``"random"`` — the ablation axis for the degree-order heuristic.
     visit_rng:
         seed for ``visit="random"``.
+    engine:
+        ``"fast"`` (default) runs the vectorised flat-array engine
+        (:mod:`repro.rabbit.fastseq`); ``"dict"`` runs the reference
+        per-edge dict implementation below.  Both produce bit-identical
+        dendrograms and stats — the dict engine is kept as the readable
+        oracle the equivalence suite checks the fast engine against.
 
     Returns
     -------
     (dendrogram, stats)
     """
+    if engine == "fast":
+        from repro.rabbit.fastseq import community_detection_fastseq
+
+        return community_detection_fastseq(
+            graph,
+            collect_vertex_work=collect_vertex_work,
+            merge_threshold=merge_threshold,
+            visit=visit,
+            visit_rng=visit_rng,
+        )
+    if engine != "dict":
+        raise ValueError(f"engine must be 'fast' or 'dict', got {engine!r}")
     require_symmetric(graph, "Rabbit Order")
     n = graph.num_vertices
     with span("rabbit.seq.setup", n=n):
@@ -99,6 +118,8 @@ def community_detection_seq(
             inv_2m = 1.0 / two_m
             penalty = d_u / (two_m * two_m)
             for v, w in neighbors.items():
+                if v == u:  # self-loop entry (always inserted last)
+                    continue
                 dq = 2.0 * (w * inv_2m - comm_deg[v] * penalty)
                 if dq > best_dq:
                     best_dq = dq

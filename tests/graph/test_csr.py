@@ -194,6 +194,45 @@ class TestTransformations:
         assert np.allclose(back.weights, paper_graph.weights)
 
 
+class TestAccessorCaching:
+    """row_of_slot / degrees / edge_weights are cached read-only arrays."""
+
+    def test_row_of_slot_cached_and_readonly(self, paper_graph):
+        first = paper_graph.row_of_slot()
+        assert first is paper_graph.row_of_slot()  # same object: cached
+        assert not first.flags.writeable
+        with pytest.raises(ValueError):
+            first[0] = 99
+
+    def test_degrees_cached_and_readonly(self, paper_graph):
+        first = paper_graph.degrees()
+        assert first is paper_graph.degrees()
+        assert not first.flags.writeable
+        assert np.array_equal(first, np.diff(paper_graph.indptr))
+
+    def test_unit_weights_cached_and_readonly(self, paper_graph_unweighted):
+        first = paper_graph_unweighted.edge_weights()
+        assert first is paper_graph_unweighted.edge_weights()
+        assert not first.flags.writeable
+        assert first.sum() == paper_graph_unweighted.num_edges
+
+    def test_weighted_graph_returns_weights_directly(self, paper_graph):
+        assert paper_graph.edge_weights() is paper_graph.weights
+
+    def test_edge_array_src_dst_are_writable_copies(self, paper_graph):
+        src, dst, _ = paper_graph.edge_array()
+        assert src.flags.writeable and dst.flags.writeable
+        src[0] = -1  # must not corrupt the cache
+        assert paper_graph.row_of_slot()[0] != -1
+
+    def test_permuted_graph_does_not_share_cache(self, paper_graph):
+        baseline = paper_graph.degrees()
+        perm = random_permutation(paper_graph.num_vertices, rng=5)
+        permuted = paper_graph.permute(perm)
+        assert np.array_equal(np.sort(permuted.degrees()), np.sort(baseline))
+        assert permuted.degrees() is not baseline
+
+
 class TestCoalesce:
     def test_empty(self):
         s, d, w = coalesce_edges(
