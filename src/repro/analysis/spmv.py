@@ -81,7 +81,10 @@ def row_blocks(graph: CSRGraph, num_blocks: int) -> list[tuple[int, int]]:
     num_blocks = min(num_blocks, n)
     m = graph.num_edges
     # Cut at the rows whose cumulative slot count crosses each k*m/B mark.
-    targets = (np.arange(1, num_blocks) * m) / num_blocks
+    # Exact ceil-division keeps the targets in the integer index domain
+    # (identical cuts: searchsorted-left of an int array at k*m/B and at
+    # ceil(k*m/B) select the same position).
+    targets = -((np.arange(1, num_blocks) * m) // -num_blocks)
     cuts = np.searchsorted(graph.indptr[1:], targets, side="left") + 1
     bounds = np.concatenate([[0], np.minimum(cuts, n), [n]])
     bounds = np.maximum.accumulate(bounds)

@@ -1,0 +1,46 @@
+"""Project static analysis: the ``repro.check`` subsystem.
+
+Two halves, both built for the invariants this codebase actually relies
+on rather than generic style:
+
+* :mod:`repro.check.engine` — an AST-based lint engine with a rule
+  registry, per-line / per-file ``# repro: ignore[rule-id]``
+  suppressions, and text/JSON reporters.  Project-specific rules live in
+  :mod:`repro.check.rules` (concurrency discipline on the lock-free
+  aggregation path, determinism, index-dtype discipline, import
+  hygiene).  Run it as ``python -m repro check src/``.
+* :mod:`repro.check.races` — a dynamic race detector for the parallel
+  aggregation pipeline: instrumented atomics and shared arrays record
+  per-worker event logs, and a vector-clock happens-before checker flags
+  unsynchronised conflicting accesses.  Wired into
+  :func:`repro.rabbit.par.community_detection_par` (``detect_races=``)
+  and ``repro stress --races``.
+
+The whole subsystem self-hosts: ``repro check src/`` must run clean, so
+every intentional exception in the tree carries an inline suppression
+with its justification (catalogued in ``docs/CHECKS.md``).
+"""
+
+from __future__ import annotations
+
+from repro.check.engine import (
+    CheckReport,
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+    run_check,
+)
+
+__all__ = [
+    "CheckReport",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "run_check",
+]

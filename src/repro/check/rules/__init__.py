@@ -1,0 +1,10 @@
+"""Shipped lint rules; importing this package registers all of them.
+
+Rule catalogue (ids, rationale, suppression syntax): ``docs/CHECKS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.check.rules import concurrency, determinism, dtypes, imports
+
+__all__ = ["concurrency", "determinism", "dtypes", "imports"]

@@ -1,0 +1,104 @@
+"""Concurrency-discipline rules for the lock-free aggregation path.
+
+The paper's Algorithm 3 is correct because *all* cross-thread state
+flows through the 16-byte CAS record (:class:`AtomicPairArray`), and
+because workers never block each other.  Two rules keep that true as the
+code grows:
+
+* ``lock-in-lockfree-path`` — no new blocking primitives
+  (``threading.Lock`` & friends) inside ``repro/rabbit/`` or
+  ``repro/parallel/``.  The sharded locks that *implement* the atomics
+  are the intentional, suppressed exceptions.
+* ``private-atomic-state`` — nothing outside the atomic layer may reach
+  into :class:`AtomicPairArray`'s private storage (``_degree``,
+  ``_child``, ``_locks``, ``_lock_for``); shared mutable state is only
+  touched through ``load``/``swap``/``cas`` or the quiesced bulk views.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.astutil import collect_imports
+from repro.check.engine import FileContext, Finding, Rule, register_rule
+
+__all__ = ["LockInLockfreePath", "PrivateAtomicState"]
+
+#: Blocking primitives whose construction the rule flags.
+_BLOCKING = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Event",
+    "Barrier",
+}
+
+#: AtomicPairArray internals that only the atomic layer may touch.
+_PRIVATE_ATOMIC_ATTRS = {"_degree", "_child", "_locks", "_lock_for"}
+
+
+class LockInLockfreePath(Rule):
+    id = "lock-in-lockfree-path"
+    rationale = (
+        "Algorithm 3 is lock-free: workers synchronise only through the "
+        "CAS record.  A blocking primitive introduced into the worker "
+        "path silently changes the concurrency model the paper's claims "
+        "(and the scalability cost model) rest on."
+    )
+    scope = ("repro/rabbit/", "repro/parallel/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = collect_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved.startswith("threading.") and (
+                resolved.split(".", 1)[1] in _BLOCKING
+            ):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"blocking primitive {resolved}() constructed on the "
+                    "lock-free aggregation path; synchronise through "
+                    "AtomicPairArray/AtomicCounter instead",
+                )
+
+
+class PrivateAtomicState(Rule):
+    id = "private-atomic-state"
+    rationale = (
+        "All cross-thread state must flow through the atomic record's "
+        "load/swap/cas operations; touching AtomicPairArray's private "
+        "arrays bypasses both the locking and the race detector's "
+        "instrumentation."
+    )
+    scope = ("repro/rabbit/", "repro/parallel/")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not super().applies_to(ctx):
+            return False
+        # atomics.py *is* the atomic layer.
+        return not ctx.rel.endswith("repro/parallel/atomics.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _PRIVATE_ATOMIC_ATTRS
+            ):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"access to atomic-layer private state .{node.attr}; "
+                    "use load/swap/cas or the *_view() bulk accessors",
+                )
+
+
+register_rule(LockInLockfreePath())
+register_rule(PrivateAtomicState())

@@ -1,0 +1,185 @@
+"""Determinism rules.
+
+Reordering results must be bit-identical across runs: the ``fastseq``
+engine's whole value is dendrogram/permutation equality with the dict
+engine, and Faldu et al. show how silently nondeterministic orderings
+invalidate reordering evaluations.  Three rules guard the usual leaks:
+
+* ``unsorted-set-iteration`` — iterating a ``set`` (literal, ``set()``
+  call, comprehension, or ``.keys()`` algebra) has arbitrary order; any
+  such iteration feeding an ordering must go through ``sorted()``.
+  (Dict iteration is insertion-ordered in CPython and is relied on
+  deliberately — it is *not* flagged.)
+* ``unseeded-rng`` — no module-global RNG (``np.random.*``, stdlib
+  ``random.*``) and no zero-argument ``default_rng()``; randomness must
+  come from an explicitly seeded generator.
+* ``wall-clock-in-result-path`` — result-producing packages must not
+  read wall clocks; timing belongs to the ``obs`` layer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.check.astutil import collect_imports, dotted_name
+from repro.check.engine import FileContext, Finding, Rule, register_rule
+
+__all__ = ["UnsortedSetIteration", "UnseededRng", "WallClockInResultPath"]
+
+#: numpy.random module-global sampling functions (legacy global state).
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "RandomState"}
+
+#: stdlib ``random`` module-level functions backed by the global RNG.
+_STDLIB_RANDOM = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "sample", "shuffle", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "paretovariate",
+    "getrandbits", "randbytes",
+}
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+def _is_set_valued(node: ast.AST) -> bool:
+    """Conservatively recognise expressions that are definitely sets."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = dotted_name(node.func)
+        if func in ("set", "frozenset"):
+            return True
+        # dict.keys() algebra below needs the method name only.
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+    ):
+        return _is_set_valued(node.left) or _is_set_valued(node.right) or (
+            _is_keys_call(node.left) and _is_keys_call(node.right)
+        )
+    return False
+
+
+def _is_keys_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+    )
+
+
+class UnsortedSetIteration(Rule):
+    id = "unsorted-set-iteration"
+    rationale = (
+        "Set iteration order depends on hash seeding and insertion "
+        "history; any ordering derived from it is not replayable.  Wrap "
+        "the iterable in sorted()."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        iters = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+        for expr in iters:
+            if _is_set_valued(expr):
+                yield ctx.finding(
+                    self.id,
+                    expr,
+                    "iteration over a set has nondeterministic order; "
+                    "wrap it in sorted(...)",
+                )
+
+
+class UnseededRng(Rule):
+    id = "unseeded-rng"
+    rationale = (
+        "Module-global RNGs make every run different; all randomness "
+        "must come from a generator seeded by the caller so experiments "
+        "and schedules replay exactly."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = collect_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve(node.func)
+            if resolved is None:
+                continue
+            message: Optional[str] = None
+            if resolved.startswith("numpy.random."):
+                tail = resolved.rsplit(".", 1)[1]
+                if tail == "default_rng" and not node.args and not node.keywords:
+                    message = (
+                        "default_rng() without a seed is entropy-seeded; "
+                        "thread an explicit seed through"
+                    )
+                elif tail not in _NP_RANDOM_OK:
+                    message = (
+                        f"np.random.{tail}() uses numpy's global RNG; "
+                        "use a seeded np.random.default_rng(seed)"
+                    )
+            elif (
+                resolved.startswith("random.")
+                and resolved.rsplit(".", 1)[1] in _STDLIB_RANDOM
+            ):
+                message = (
+                    f"{resolved}() uses the process-global stdlib RNG; "
+                    "use a seeded random.Random(seed) or numpy generator"
+                )
+            if message is not None:
+                yield ctx.finding(self.id, node, message)
+
+
+class WallClockInResultPath(Rule):
+    id = "wall-clock-in-result-path"
+    rationale = (
+        "Orderings, dendrograms, and analysis results must be pure "
+        "functions of (graph, seed); clocks belong to the obs layer so "
+        "results never depend on when or how fast they ran."
+    )
+    scope = (
+        "repro/graph/",
+        "repro/rabbit/",
+        "repro/order/",
+        "repro/community/",
+        "repro/analysis/",
+        "repro/cache/",
+        "repro/metrics/",
+        "repro/parallel/",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = collect_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve(node.func)
+            if resolved in _WALL_CLOCK:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{resolved}() read on a result path; move timing to "
+                    "repro.obs spans/metrics",
+                )
+
+
+register_rule(UnsortedSetIteration())
+register_rule(UnseededRng())
+register_rule(WallClockInResultPath())

@@ -1,0 +1,193 @@
+"""Import-hygiene rules.
+
+* ``networkx-in-src`` — networkx is a *test oracle* only.  The library
+  code must run on the baked-in numpy/scipy stack; a networkx import in
+  ``src/`` would both add a heavyweight dependency and tempt the
+  reproduction to lean on reference implementations instead of the
+  paper's algorithms.
+* ``layering`` — base layers may not import upward.  ``repro.errors``
+  imports nothing from the package; ``repro.graph`` may import only
+  ``repro.errors`` (in particular: no ``repro.obs`` from ``repro.graph``
+  — the graph kernel must stay observability-free).
+* ``import-cycle`` — no module-level import cycles anywhere in the
+  scanned tree (lazy function-level imports are exempt; they are the
+  accepted way to break a would-be cycle, as the CLI does).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Set
+
+from repro.check.astutil import collect_imports
+from repro.check.engine import FileContext, Finding, Rule, register_rule
+
+__all__ = ["NetworkxInSrc", "Layering", "ImportCycle"]
+
+#: package -> repro packages it may import (absent = unrestricted)
+_ALLOWED_DEPS: Dict[str, Set[str]] = {
+    "repro.errors": set(),
+    "repro.graph": {"repro.errors"},
+}
+
+
+def _package_of(module: str) -> str:
+    """The two-level package a repro module belongs to (``repro.x``)."""
+    parts = module.split(".")
+    return ".".join(parts[:2]) if len(parts) >= 2 else parts[0]
+
+
+class NetworkxInSrc(Rule):
+    id = "networkx-in-src"
+    rationale = (
+        "networkx is the test oracle, not a runtime dependency; library "
+        "code must run on the numpy/scipy stack alone."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "tests/" not in ctx.rel and not ctx.rel.startswith("tests")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = collect_imports(ctx.tree)
+        for dotted, lineno in sorted(imports.all_imports.items()):
+            if dotted == "networkx" or dotted.startswith("networkx."):
+                yield ctx.finding_at(
+                    self.id,
+                    lineno,
+                    "networkx imported outside tests/; the library must "
+                    "not depend on the test oracle",
+                )
+
+
+class Layering(Rule):
+    id = "layering"
+    rationale = (
+        "Base layers must not import upward: repro.graph stays free of "
+        "observability/ordering machinery so every higher layer can "
+        "build on it without cycles."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        module = ctx.module
+        if module is None:
+            return
+        package = _package_of(module)
+        allowed = _ALLOWED_DEPS.get(package)
+        if allowed is None:
+            return
+        imports = collect_imports(ctx.tree)
+        for dotted, lineno in sorted(imports.all_imports.items()):
+            if not dotted.startswith("repro."):
+                continue
+            target = _package_of(dotted)
+            if target == package or target in allowed:
+                continue
+            yield ctx.finding_at(
+                self.id,
+                lineno,
+                f"{package} may not import {target} "
+                f"(allowed: {', '.join(sorted(allowed)) or 'nothing'})",
+            )
+
+
+class ImportCycle(Rule):
+    id = "import-cycle"
+    rationale = (
+        "Module-level import cycles make initialisation order fragile "
+        "and eventually force hacks; break the cycle with a lazy import "
+        "or by moving the shared piece down a layer."
+    )
+    project_wide = True
+
+    def check_project(self, ctxs: Sequence[FileContext]) -> Iterator[Finding]:
+        modules: Dict[str, FileContext] = {}
+        for ctx in ctxs:
+            if ctx.module is not None:
+                modules[ctx.module] = ctx
+        graph: Dict[str, Set[str]] = {m: set() for m in modules}
+        for module, ctx in modules.items():
+            imports = collect_imports(ctx.tree)
+            for dotted in imports.module_imports:
+                target = self._resolve_target(dotted, modules)
+                if target is not None and target != module:
+                    graph[module].add(target)
+        for cycle in _strongly_connected(graph):
+            if len(cycle) < 2:
+                continue
+            ordered = sorted(cycle)
+            ctx = modules[ordered[0]]
+            yield ctx.finding_at(
+                self.id,
+                1,
+                "module-level import cycle: " + " -> ".join(ordered + [ordered[0]]),
+            )
+
+    @staticmethod
+    def _resolve_target(
+        dotted: str, modules: Dict[str, FileContext]
+    ) -> str | None:
+        # `from repro.x.y import name` records repro.x.y.name; walk up
+        # until we hit a scanned module.
+        probe = dotted
+        while probe:
+            if probe in modules:
+                return probe
+            probe = probe.rpartition(".")[0]
+        return None
+
+
+def _strongly_connected(graph: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Tarjan's algorithm, iterative (deterministic over sorted nodes)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[Set[str]] = []
+    counter = [0]
+
+    def visit(root: str) -> None:
+        work: List[tuple[str, Iterator[str]]] = [
+            (root, iter(sorted(graph[root])))
+        ]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            for succ in edges:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc: Set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.add(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+
+    for node in sorted(graph):
+        if node not in index:
+            visit(node)
+    return sccs
+
+
+register_rule(NetworkxInSrc())
+register_rule(Layering())
+register_rule(ImportCycle())

@@ -20,6 +20,10 @@ Commands
     Run a benchmark suite and emit a schema-versioned ``BENCH_*.json``
     baseline; ``--compare OLD.json`` judges the fresh run against a
     committed baseline and exits non-zero on regression.
+``check``
+    Run the project lint rules (:mod:`repro.check`) over source trees;
+    exits non-zero on any finding.  ``--list-rules`` catalogues the
+    rules; suppression syntax and rationale live in ``docs/CHECKS.md``.
 
 ``reorder``/``analyze`` time their work through the span tracer
 (:mod:`repro.obs.trace`); ``--verbose`` prints the per-phase breakdown.
@@ -208,8 +212,27 @@ def _cmd_stress(args) -> int:
         num_seeds=args.seeds,
         num_threads=args.threads,
         quick=args.quick,
+        executor=args.executor,
+        detect_races=args.races,
     )
     print(report.table())
+    return 0 if report.ok else 1
+
+
+def _cmd_check(args) -> int:
+    from repro.check import all_rules, run_check
+
+    if args.list_rules:
+        for rule in all_rules():
+            kind = "project" if rule.project_wide else "file"
+            print(f"{rule.id:<28} [{kind}] {rule.rationale}")
+        return 0
+    paths = args.paths or ["src"]
+    report = run_check(paths, rules=args.rule)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
     return 0 if report.ok else 1
 
 
@@ -312,7 +335,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--graph-seed", type=int, default=3)
     p.add_argument("--threads", type=int, default=4,
                    help="modelled hardware threads (scheduler window)")
+    p.add_argument("--executor", choices=["interleave", "threads"],
+                   default="interleave",
+                   help="deterministic interleaving scheduler or real threads")
+    p.add_argument("--races", action="store_true",
+                   help="run the happens-before race detector on every cell")
     p.set_defaults(fn=_cmd_stress)
+
+    p = sub.add_parser(
+        "check", help="run the project lint rules (static analysis)"
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format")
+    p.add_argument("--rule", action="append", metavar="RULE-ID",
+                   help="restrict to this rule id (repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list registered rules and exit")
+    p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser(
         "bench", help="run a benchmark suite / compare baselines"

@@ -19,6 +19,8 @@ __all__ = [
     "CacheConfigError",
     "DatasetError",
     "BenchFormatError",
+    "CheckError",
+    "PrecisionError",
 ]
 
 
@@ -71,3 +73,13 @@ class DatasetError(ReproError):
 class BenchFormatError(ReproError):
     """A benchmark baseline document violates the BENCH_*.json schema
     (unknown schema id/version, missing phases, malformed results)."""
+
+
+class CheckError(ReproError):
+    """The static-analysis engine was misused (unknown rule id, invalid
+    rule registration, missing lint target)."""
+
+
+class PrecisionError(ReproError):
+    """A numeric domain left the range where float64 arithmetic is exact
+    (degree sums at or above 2**53), so results could silently drift."""

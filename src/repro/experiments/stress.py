@@ -90,6 +90,7 @@ class StressOutcome:
     spurious_invalid_reads: int = 0
     stalls: int = 0
     crashes: int = 0
+    races: int = 0
 
 
 @dataclass
@@ -116,7 +117,7 @@ class StressReport:
             f"{'case':<18} {'runs':>5} {'fail':>5} {'merges':>8} "
             f"{'toplvl':>7} {'retries':>8} {'orphan':>7} {'repair':>7} "
             f"{'fbmerge':>8} {'casfail':>8} {'spur':>6} {'stall':>6} "
-            f"{'crash':>6}"
+            f"{'crash':>6} {'races':>6}"
         )
         lines = [f"stress sweep on {self.graph_desc}", header,
                  "-" * len(header)]
@@ -136,7 +137,8 @@ class StressReport:
                 f"{sum(r.forced_cas_failures for r in rows):>8} "
                 f"{sum(r.spurious_invalid_reads for r in rows):>6} "
                 f"{sum(r.stalls for r in rows):>6} "
-                f"{sum(r.crashes for r in rows):>6}"
+                f"{sum(r.crashes for r in rows):>6} "
+                f"{sum(r.races for r in rows):>6}"
             )
         for o in self.failures:
             lines.append(f"FAILED {o.case} seed={o.seed}: {o.error}")
@@ -155,17 +157,32 @@ class StressReport:
         return self.table()
 
 
-def _run_cell(graph, case: StressCase, seed: int, num_threads: int) -> StressOutcome:
+def _run_cell(
+    graph,
+    case: StressCase,
+    seed: int,
+    num_threads: int,
+    *,
+    executor: str = "interleave",
+    detect_races: bool = False,
+) -> StressOutcome:
     plan = None if case.plan is None else replace(case.plan, seed=seed)
     outcome = StressOutcome(case=case.name, seed=seed, ok=False)
     try:
         res = community_detection_par(
             graph,
             num_threads=num_threads,
-            scheduler_seed=seed,
+            # "threads" hands the cell to real threads (not replayable);
+            # the seed then only parameterises the fault plan.
+            scheduler_seed=seed if executor == "interleave" else None,
             fault_plan=plan,
             audit=True,
+            detect_races=detect_races,
         )
+        if res.race_report is not None:
+            outcome.races = len(res.race_report.races)
+            if not res.race_report.ok:
+                raise ReproError(res.race_report.summary())
         s = res.stats
         outcome.merges = s.merges
         outcome.toplevels = s.toplevels
@@ -204,20 +221,31 @@ def run_stress(
     num_threads: int = 4,
     cases: tuple[StressCase, ...] | None = None,
     quick: bool = False,
+    executor: str = "interleave",
+    detect_races: bool = False,
 ) -> StressReport:
     """Sweep ``cases`` × ``num_seeds`` scheduler seeds on one R-MAT graph.
 
     ``quick`` shrinks the sweep (3 seeds) for a CI smoke job; a full run
-    uses every seed for every case.  All runs use the deterministic
-    interleaving scheduler, so the whole report is replayable.
+    uses every seed for every case.  ``executor`` selects the
+    deterministic interleaving scheduler (replayable; the default) or
+    real threads.  ``detect_races=True`` runs the happens-before race
+    detector (:mod:`repro.check.races`) on every cell and fails any cell
+    whose report is not clean.
     """
+    if executor not in ("interleave", "threads"):
+        raise ReproError(
+            f"executor must be 'interleave' or 'threads', got {executor!r}"
+        )
     if quick:
         num_seeds = min(num_seeds, 3)
     graph = rmat_graph(scale, edge_factor=edge_factor, rng=graph_seed)
     report = StressReport(
         graph_desc=(
             f"R-MAT scale={scale} ({graph.num_vertices} vertices, "
-            f"{graph.num_undirected_edges} edges), {num_seeds} seeds/case"
+            f"{graph.num_undirected_edges} edges), {num_seeds} seeds/case, "
+            f"executor={executor}"
+            + (", race detection on" if detect_races else "")
         )
     )
     registry = get_registry()
@@ -225,7 +253,14 @@ def run_stress(
     for case in cases if cases is not None else DEFAULT_CASES:
         for seed in range(num_seeds):
             report.outcomes.append(
-                _run_cell(graph, case, seed, num_threads)
+                _run_cell(
+                    graph,
+                    case,
+                    seed,
+                    num_threads,
+                    executor=executor,
+                    detect_races=detect_races,
+                )
             )
     report.metrics = counter_delta(counters_before, registry.counter_values())
     return report

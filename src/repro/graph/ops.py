@@ -38,6 +38,10 @@ def as_undirected(graph: CSRGraph) -> CSRGraph:
 def reorder_directed(graph: CSRGraph, algorithm: str = "Rabbit", **kwargs):
     """Reorder a *directed* graph: run *algorithm* on the symmetric
     closure, return ``(permutation, reordered_directed_graph)``."""
+    # repro: ignore[layering]  deliberate upward dispatch: this is a
+    # convenience workflow that lives with the graph type for API
+    # discoverability; the lazy import keeps repro.graph import-time
+    # free of higher layers.
     from repro.order.registry import get_algorithm
 
     sym = as_undirected(graph)

@@ -54,5 +54,7 @@ def spy(graph: CSRGraph, grid: int = 32, *, relative: bool = True) -> str:
     if top <= 0:
         top = 1.0
     scaled = np.clip(density / top, 0.0, 1.0)
-    idx = np.minimum((scaled * (len(_RAMP) - 1)).round().astype(int), len(_RAMP) - 1)
+    idx = np.minimum(
+        (scaled * (len(_RAMP) - 1)).round().astype(np.int64), len(_RAMP) - 1
+    )
     return "\n".join("".join(_RAMP[k] for k in row) for row in idx)

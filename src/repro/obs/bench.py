@@ -464,7 +464,7 @@ def compare(
                     _time_verdict(float(b_gap), float(c_gap), locality_tolerance, 0.0),
                 )
             )
-    for key in cur_cells.keys() - base_cells.keys():
+    for key in sorted(cur_cells.keys() - base_cells.keys()):
         report.rows.append(CompareRow(key[0], key[1], "cell", None, None, OK))
     report.rows.sort(key=lambda r: (r.graph, r.ordering, r.metric))
     return report

@@ -27,13 +27,34 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-__all__ = ["INVALID_DEGREE", "OpCounter", "AtomicPairArray", "AtomicCounter"]
+from repro.errors import PrecisionError
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.check.races import EventLog
+
+__all__ = [
+    "INVALID_DEGREE",
+    "DEGREE_EXACT_LIMIT",
+    "OpCounter",
+    "AtomicPairArray",
+    "AtomicCounter",
+]
 
 #: Sentinel marking an invalidated vertex (paper: UINT64_MAX degree).
 INVALID_DEGREE: float = float("inf")
+
+#: Exactness ceiling for float64 degree arithmetic.  The paper stores
+#: degrees as u64 and invalidates with UINT64_MAX; we store them as
+#: float64 and invalidate with +inf.  That substitution is loss-free only
+#: while every reachable community degree is an exact float64 integer
+#: sum, which holds for any partial sum strictly below 2**53.  The
+#: constructor enforces the *total* below the limit, which bounds every
+#: partial community sum the CAS protocol can ever accumulate.
+DEGREE_EXACT_LIMIT: float = float(2**53)
 
 
 @dataclass
@@ -80,7 +101,33 @@ class AtomicPairArray:
     def __init__(self, degrees: np.ndarray, counter: OpCounter | None = None):
         n = degrees.size
         self._degree = np.asarray(degrees, dtype=np.float64).copy()
+        if n:
+            if not np.isfinite(self._degree).all():
+                raise PrecisionError(
+                    "initial degrees must be finite: the non-finite range "
+                    "is reserved for the INVALID_DEGREE sentinel"
+                )
+            if (self._degree < 0.0).any():
+                raise PrecisionError(
+                    "initial degrees must be non-negative: community "
+                    "degree sums are bounded by the total only without "
+                    "cancellation"
+                )
+            total = float(np.sum(self._degree))
+            if not total < DEGREE_EXACT_LIMIT:
+                raise PrecisionError(
+                    f"total degree mass {total!r} reaches 2**53, where "
+                    "float64 integer sums stop being exact; the paper's "
+                    "u64 degrees would keep counting where this float "
+                    "encoding silently drifts"
+                )
         self._child = np.full(n, -1, dtype=np.int64)
+        #: optional :class:`~repro.check.races.EventLog`; hooks fire inside
+        #: the per-record critical section so sync events are linearised.
+        self.tracer: "EventLog | None" = None
+        # repro: ignore[lock-in-lockfree-path]  sharded locks ARE the
+        # CPython stand-in for hardware CAS: this class is the atomic
+        # layer itself, not a consumer of it.
         self._locks = [threading.Lock() for _ in range(min(self.NUM_SHARDS, max(n, 1)))]
         self.counter = counter if counter is not None else OpCounter()
 
@@ -95,11 +142,15 @@ class AtomicPairArray:
         """Atomically read ``(degree, child)`` of record *i*."""
         with self._lock_for(i):
             self.counter.loads += 1
+            if self.tracer is not None:
+                self.tracer.atomic_load(i)
             return float(self._degree[i]), int(self._child[i])
 
     def load_degree(self, i: int) -> float:
         with self._lock_for(i):
             self.counter.loads += 1
+            if self.tracer is not None:
+                self.tracer.atomic_load(i, degree_only=True)
             return float(self._degree[i])
 
     def swap_degree(self, i: int, value: float) -> float:
@@ -107,12 +158,16 @@ class AtomicPairArray:
         (paper line 9: ATOMICSWAP used to invalidate a vertex)."""
         with self._lock_for(i):
             self.counter.swaps += 1
+            if self.tracer is not None:
+                self.tracer.atomic_swap_degree(i)
             old = float(self._degree[i])
             self._degree[i] = value
             return old
 
     def store_degree(self, i: int, value: float) -> None:
         with self._lock_for(i):
+            if self.tracer is not None:
+                self.tracer.atomic_store_degree(i)
             self._degree[i] = value
 
     def cas(
@@ -132,8 +187,12 @@ class AtomicPairArray:
                 self._degree[i] = desired[0]
                 self._child[i] = desired[1]
                 self.counter.cas_success += 1
+                if self.tracer is not None:
+                    self.tracer.atomic_cas(i, True)
                 return True
             self.counter.cas_failure += 1
+            if self.tracer is not None:
+                self.tracer.atomic_cas(i, False)
             return False
 
     # -- bulk, non-atomic views (safe after workers have quiesced) ------
@@ -149,6 +208,8 @@ class AtomicCounter:
 
     def __init__(self, initial: int = 0):
         self._value = initial
+        # repro: ignore[lock-in-lockfree-path]  the fetch-and-add
+        # primitive's own implementation lock (atomic layer).
         self._lock = threading.Lock()
 
     def fetch_add(self, delta: int = 1) -> int:

@@ -138,6 +138,9 @@ class FaultInjector:
         self.plan = plan
         self.counters = FaultCounters()
         self._rng = np.random.default_rng(plan.seed)
+        # repro: ignore[lock-in-lockfree-path]  guards the injector's own
+        # RNG/counters, not algorithm state; workers never block on it
+        # at an algorithmically meaningful point.
         self._lock = threading.Lock()
         self._windows: dict[int, int] = {}  # vertex -> remaining invalid reads
         self._enabled = True
@@ -251,6 +254,9 @@ class FaultyAtomicPairArray(AtomicPairArray):
         desired: tuple[float, int],
     ) -> bool:
         if self.injector.force_cas_failure():
+            # repro: ignore[private-atomic-state]  this subclass IS part
+            # of the atomic layer: the forced failure must be tallied
+            # under the same shard lock a genuine CAS would hold.
             with self._lock_for(i):
                 self.counter.cas_failure += 1
             return False

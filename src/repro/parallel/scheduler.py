@@ -213,6 +213,9 @@ class ThreadedRunner:
 
     def run(self, tasks: Iterable[TaskGen]) -> None:
         queue: deque[TaskGen] = deque(tasks)
+        # repro: ignore[lock-in-lockfree-path]  executor infrastructure:
+        # protects the task queue between yield points, never held
+        # across the algorithm's atomic operations.
         lock = threading.Lock()
         errors: list[BaseException] = []
         injector = self._faults

@@ -75,6 +75,7 @@ class ParallelDetectionResult:
         worker_work: np.ndarray,
         fault_counters: FaultCounters | None = None,
         audit_report: AuditReport | None = None,
+        race_report=None,
     ):
         self.dendrogram = dendrogram
         self.stats = stats
@@ -86,6 +87,9 @@ class ParallelDetectionResult:
         self.fault_counters = fault_counters
         #: post-run audit report (None unless ``audit=True``)
         self.audit_report = audit_report
+        #: happens-before :class:`~repro.check.races.RaceReport`
+        #: (None unless ``detect_races=True``)
+        self.race_report = race_report
 
 
 def _worker(
@@ -315,6 +319,7 @@ def community_detection_par(
     collect_vertex_work: bool = False,
     fault_plan: FaultPlan | None = None,
     audit: bool = False,
+    detect_races: bool = False,
 ) -> ParallelDetectionResult:
     """Parallel incremental aggregation (Algorithm 3).
 
@@ -337,6 +342,13 @@ def community_detection_par(
         run the post-run integrity auditor
         (:func:`repro.rabbit.audit.audit_dendrogram`) and raise
         :class:`~repro.errors.AuditError` on any violated invariant.
+    detect_races:
+        trace every shared-memory access of the aggregation phase and
+        run the happens-before race detector
+        (:mod:`repro.check.races`) over the log; the verdict is attached
+        as ``result.race_report``.  Works under both executors.  The
+        hot path is untouched when off (a single predictable ``None``
+        test per atomic operation).
     """
     require_symmetric(graph, "Rabbit Order")
     n = graph.num_vertices
@@ -373,6 +385,25 @@ def community_detection_par(
         # the paper's single 16-byte record guarantees: alias the dendrogram
         # child links to the atomic array's storage.
         state.child = atoms.children_view()
+        race_log = None
+        if detect_races:
+            from repro.check.races import (
+                RELAXED,
+                EventLog,
+                TracingArray,
+                TracingList,
+            )
+
+            race_log = EventLog()
+            atoms.tracer = race_log
+            # dest is RELAXED: path compression + the final dest write are
+            # the algorithm's deliberate idempotent data race (module
+            # docstring of repro.check.races); everything else is PLAIN
+            # and must be happens-before ordered by the CAS protocol.
+            state.dest = TracingArray(state.dest, race_log, "dest", RELAXED)
+            state.sibling = TracingArray(state.sibling, race_log, "sibling")
+            state.child = TracingArray(state.child, race_log, "child")
+            state.adj = TracingList(state.adj, race_log, "adj")
         order = np.argsort(graph.degrees(), kind="stable")
         if chunk_size is None:
             # Fine-grained dynamic chunks keep the in-flight vertices close
@@ -399,6 +430,10 @@ def community_detection_par(
         )
         for i, chunk in enumerate(chunks)
     ]
+    if race_log is not None:
+        from repro.check.races import tag_worker
+
+        tasks = [tag_worker(task, i) for i, task in enumerate(tasks)]
     with span(
         "rabbit.par.aggregate",
         n=n,
@@ -414,6 +449,22 @@ def community_detection_par(
             )
         else:
             ThreadedRunner(num_threads, faults=injector).run(tasks)
+
+    race_report = None
+    if race_log is not None:
+        # Quiescence: stop recording and strip every proxy before the
+        # whole-array phases (recovery compares/permutes dest and sibling
+        # in bulk, which the scalar-only proxies refuse by design).
+        from repro.check.races import analyze_log, unwrap
+
+        race_log.close()
+        atoms.tracer = None
+        state.dest = unwrap(state.dest)
+        state.sibling = unwrap(state.sibling)
+        state.child = unwrap(state.child)
+        state.adj = unwrap(state.adj)
+        with span("rabbit.par.racecheck", n=n, events=len(race_log.events)):
+            race_report = analyze_log(race_log)
 
     recovery_stats = None
     if injector is not None:
@@ -474,4 +525,5 @@ def community_detection_par(
         worker_work=worker_work,
         fault_counters=None if injector is None else injector.counters,
         audit_report=audit_report,
+        race_report=race_report,
     )

@@ -1,0 +1,289 @@
+"""Per-rule positive (flagged) and negative (clean) snippets.
+
+Each rule must fire on code exhibiting the defect and stay silent on the
+idiomatic fix — both directions, so a rule can neither rot into a no-op
+nor grow false positives unnoticed.
+"""
+
+from repro.check import run_check
+
+
+def findings(tmp_path, source, rule, *, name="repro/rabbit/mod.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return run_check([path], rules=[rule]).findings
+
+
+class TestLockInLockfreePath:
+    RULE = "lock-in-lockfree-path"
+
+    def test_flags_lock_in_worker_path(self, tmp_path):
+        src = "import threading\nlock = threading.Lock()\n"
+        found = findings(tmp_path, src, self.RULE)
+        assert len(found) == 1
+        assert "threading.Lock()" in found[0].message
+        assert found[0].line == 2
+
+    def test_flags_from_import_and_other_primitives(self, tmp_path):
+        src = "from threading import RLock, Semaphore\na = RLock()\nb = Semaphore(2)\n"
+        assert len(findings(tmp_path, src, self.RULE)) == 2
+
+    def test_clean_on_atomic_layer_usage(self, tmp_path):
+        src = (
+            "from repro.parallel.atomics import AtomicCounter\n"
+            "c = AtomicCounter()\n"
+        )
+        assert findings(tmp_path, src, self.RULE) == []
+
+    def test_clean_on_local_name_shadowing_threading(self, tmp_path):
+        src = "def f(threading):\n    return threading.Lock()\n"
+        assert findings(tmp_path, src, self.RULE) == []
+
+
+class TestPrivateAtomicState:
+    RULE = "private-atomic-state"
+
+    def test_flags_private_attribute_reach_in(self, tmp_path):
+        src = "def peek(atoms, i):\n    return atoms._degree[i]\n"
+        found = findings(tmp_path, src, self.RULE, name="repro/parallel/x.py")
+        assert len(found) == 1
+        assert "._degree" in found[0].message
+
+    def test_flags_lock_for(self, tmp_path):
+        src = "def grab(atoms, i):\n    return atoms._lock_for(i)\n"
+        assert len(findings(tmp_path, src, self.RULE)) == 1
+
+    def test_clean_on_public_api(self, tmp_path):
+        src = (
+            "def read(atoms, i):\n"
+            "    d, c = atoms.load(i)\n"
+            "    return d, atoms.children_view()\n"
+        )
+        assert findings(tmp_path, src, self.RULE) == []
+
+    def test_atomics_module_itself_is_exempt(self, tmp_path):
+        src = "class A:\n    def f(self, i):\n        return self._degree[i]\n"
+        found = findings(
+            tmp_path, src, self.RULE, name="src/repro/parallel/atomics.py"
+        )
+        assert found == []
+
+
+class TestUnsortedSetIteration:
+    RULE = "unsorted-set-iteration"
+
+    def test_flags_for_over_set_call(self, tmp_path):
+        src = "for x in set([3, 1, 2]):\n    print(x)\n"
+        assert len(findings(tmp_path, src, self.RULE)) == 1
+
+    def test_flags_set_literal_and_comprehension_iter(self, tmp_path):
+        src = "ys = [x for x in {1, 2, 3}]\n"
+        assert len(findings(tmp_path, src, self.RULE)) == 1
+
+    def test_flags_keys_algebra(self, tmp_path):
+        src = "for k in a.keys() - b.keys():\n    print(k)\n"
+        assert len(findings(tmp_path, src, self.RULE)) == 1
+
+    def test_clean_when_sorted(self, tmp_path):
+        src = (
+            "for x in sorted(set([3, 1, 2])):\n    print(x)\n"
+            "for k in sorted(a.keys() - b.keys()):\n    print(k)\n"
+        )
+        assert findings(tmp_path, src, self.RULE) == []
+
+    def test_clean_on_dict_and_list_iteration(self, tmp_path):
+        src = "for k in {'a': 1}:\n    print(k)\nfor v in [1, 2]:\n    print(v)\n"
+        assert findings(tmp_path, src, self.RULE) == []
+
+
+class TestUnseededRng:
+    RULE = "unseeded-rng"
+
+    def test_flags_numpy_global_rng(self, tmp_path):
+        src = "import numpy as np\nx = np.random.rand(4)\n"
+        found = findings(tmp_path, src, self.RULE)
+        assert len(found) == 1
+        assert "global RNG" in found[0].message
+
+    def test_flags_zero_arg_default_rng(self, tmp_path):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert len(findings(tmp_path, src, self.RULE)) == 1
+
+    def test_flags_stdlib_global_random(self, tmp_path):
+        src = "import random\nx = random.shuffle([1, 2])\n"
+        assert len(findings(tmp_path, src, self.RULE)) == 1
+
+    def test_clean_on_seeded_generators(self, tmp_path):
+        src = (
+            "import random\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n"
+            "x = rng.random(4)\n"
+            "r = random.Random(7)\n"
+        )
+        assert findings(tmp_path, src, self.RULE) == []
+
+
+class TestWallClockInResultPath:
+    RULE = "wall-clock-in-result-path"
+
+    def test_flags_perf_counter_in_numeric_core(self, tmp_path):
+        src = "import time\nt = time.perf_counter()\n"
+        found = findings(tmp_path, src, self.RULE, name="repro/order/x.py")
+        assert len(found) == 1
+        assert "repro.obs" in found[0].message
+
+    def test_flags_datetime_now(self, tmp_path):
+        src = "import datetime\nts = datetime.datetime.now()\n"
+        assert len(findings(tmp_path, src, self.RULE)) == 1
+
+    def test_obs_layer_may_read_clocks(self, tmp_path):
+        src = "import time\nt = time.perf_counter()\n"
+        found = findings(tmp_path, src, self.RULE, name="repro/obs/trace.py")
+        assert found == []
+
+    def test_clean_on_non_clock_time_use(self, tmp_path):
+        src = "import time\ntime.sleep(0)\n"
+        assert findings(tmp_path, src, self.RULE) == []
+
+
+class TestInt32Index:
+    RULE = "int32-index"
+
+    def test_flags_np_int32(self, tmp_path):
+        src = "import numpy as np\nidx = np.zeros(4, dtype=np.int32)\n"
+        assert len(findings(tmp_path, src, self.RULE)) == 1
+
+    def test_flags_platform_int_dtype_and_astype(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "a = np.zeros(4, dtype=int)\n"
+            "b = a.astype(int)\n"
+        )
+        assert len(findings(tmp_path, src, self.RULE)) == 2
+
+    def test_clean_on_int64(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "a = np.zeros(4, dtype=np.int64)\n"
+            "b = a.astype(np.int64)\n"
+        )
+        assert findings(tmp_path, src, self.RULE) == []
+
+    def test_out_of_scope_files_unchecked(self, tmp_path):
+        src = "import numpy as np\nidx = np.zeros(4, dtype=np.int32)\n"
+        found = findings(tmp_path, src, self.RULE, name="repro/obs/plot.py")
+        assert found == []
+
+
+class TestFloatIndexArray:
+    RULE = "float-index-array"
+
+    def test_flags_index_named_array_without_dtype(self, tmp_path):
+        src = "import numpy as np\nindptr = np.zeros(5)\n"
+        found = findings(tmp_path, src, self.RULE)
+        assert len(found) == 1
+        assert "float64" in found[0].message
+
+    def test_flags_explicit_float_dtype(self, tmp_path):
+        src = "import numpy as np\nperm = np.empty(5, dtype=np.float64)\n"
+        assert len(findings(tmp_path, src, self.RULE)) == 1
+
+    def test_flags_arange_under_true_division(self, tmp_path):
+        src = "import numpy as np\ntargets = np.arange(1, 4) * 10 / 3\n"
+        assert len(findings(tmp_path, src, self.RULE)) == 1
+
+    def test_clean_on_integer_constructions(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "indptr = np.zeros(5, dtype=np.int64)\n"
+            "targets = (np.arange(1, 4) * 10) // 3\n"
+            "ceil = -((np.arange(1, 4) * 10) // -3)\n"
+            "weights = np.zeros(5)\n"
+        )
+        assert findings(tmp_path, src, self.RULE) == []
+
+
+class TestNetworkxInSrc:
+    RULE = "networkx-in-src"
+
+    def test_flags_networkx_import(self, tmp_path):
+        src = "import networkx as nx\n"
+        assert len(findings(tmp_path, src, self.RULE)) == 1
+
+    def test_flags_lazy_function_level_import_too(self, tmp_path):
+        src = "def f():\n    from networkx import Graph\n    return Graph\n"
+        assert len(findings(tmp_path, src, self.RULE)) == 1
+
+    def test_tests_tree_is_exempt(self, tmp_path):
+        src = "import networkx as nx\n"
+        found = findings(
+            tmp_path, src, self.RULE, name="tests/graph/test_oracle.py"
+        )
+        assert found == []
+
+
+class TestLayering:
+    RULE = "layering"
+
+    def test_flags_graph_importing_obs(self, tmp_path):
+        src = "from repro.obs.trace import span\n"
+        found = findings(
+            tmp_path, src, self.RULE, name="src/repro/graph/csr.py"
+        )
+        assert len(found) == 1
+        assert "repro.graph may not import repro.obs" in found[0].message
+
+    def test_flags_errors_importing_anything(self, tmp_path):
+        src = "from repro.graph.csr import CSRGraph\n"
+        found = findings(
+            tmp_path, src, self.RULE, name="src/repro/errors.py"
+        )
+        assert len(found) == 1
+
+    def test_graph_may_import_errors_and_itself(self, tmp_path):
+        src = (
+            "from repro.errors import GraphFormatError\n"
+            "from repro.graph.perm import validate_permutation\n"
+        )
+        found = findings(
+            tmp_path, src, self.RULE, name="src/repro/graph/ops2.py"
+        )
+        assert found == []
+
+    def test_unrestricted_packages_import_freely(self, tmp_path):
+        src = "from repro.obs.trace import span\n"
+        found = findings(
+            tmp_path, src, self.RULE, name="src/repro/order/registry2.py"
+        )
+        assert found == []
+
+
+class TestImportCycle:
+    RULE = "import-cycle"
+
+    def test_flags_two_module_cycle(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "order"
+        pkg.mkdir(parents=True)
+        (pkg / "alpha.py").write_text("import repro.order.beta\n")
+        (pkg / "beta.py").write_text("import repro.order.alpha\n")
+        report = run_check([tmp_path], rules=[self.RULE])
+        assert len(report.findings) == 1
+        assert "repro.order.alpha -> repro.order.beta" in report.findings[0].message
+
+    def test_lazy_import_breaks_the_cycle(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "order"
+        pkg.mkdir(parents=True)
+        (pkg / "alpha.py").write_text("import repro.order.beta\n")
+        (pkg / "beta.py").write_text(
+            "def f():\n    import repro.order.alpha\n    return repro\n"
+        )
+        assert run_check([tmp_path], rules=[self.RULE]).ok
+
+    def test_from_import_resolves_to_module(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "order"
+        pkg.mkdir(parents=True)
+        (pkg / "alpha.py").write_text("from repro.order.beta import thing\n")
+        (pkg / "beta.py").write_text("from repro.order.alpha import other\n")
+        assert len(run_check([tmp_path], rules=[self.RULE]).findings) == 1

@@ -1,0 +1,41 @@
+"""The check subsystem self-hosts: the project's own tree lints clean.
+
+This is the teeth of the whole exercise — every rule runs against
+``src/`` exactly as CI does, so a regression in the codebase (or a rule
+gone trigger-happy) fails here first.
+"""
+
+from pathlib import Path
+
+from repro.check import run_check
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSelfHost:
+    def test_src_tree_is_clean(self):
+        report = run_check([REPO_ROOT / "src"])
+        assert report.ok, report.format_text()
+
+    def test_every_registered_rule_ran(self):
+        report = run_check([REPO_ROOT / "src"])
+        assert len(report.rules_run) == 10
+        assert report.files_checked > 90
+
+    def test_intentional_suppressions_carry_justifications(self):
+        # Every inline pragma must say *why* (text after the bracket);
+        # a bare pragma is a suppression nobody can review.
+        import re
+
+        pragma = re.compile(
+            r"#\s*repro:\s*(?:ignore|ignore-file)\[[^\]]+\](?P<why>.*)"
+        )
+        bare = []
+        for path in (REPO_ROOT / "src").rglob("*.py"):
+            for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                m = pragma.search(line)
+                if m and not m.group("why").strip():
+                    bare.append(f"{path}:{lineno}")
+        assert bare == [], f"suppressions without justification: {bare}"

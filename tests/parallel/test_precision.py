@@ -1,0 +1,79 @@
+"""The INVALID_DEGREE sentinel audit (paper: UINT64_MAX degrees).
+
+The paper invalidates a vertex by storing UINT64_MAX into its u64
+degree; this codebase stores degrees as float64 and invalidates with
++inf.  The substitution is loss-free only while every community degree
+the CAS protocol can accumulate is an exact float64 integer sum — true
+for any partial sum strictly below 2**53, and enforced at construction
+by :data:`~repro.parallel.atomics.DEGREE_EXACT_LIMIT`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import PrecisionError
+from repro.parallel.atomics import (
+    DEGREE_EXACT_LIMIT,
+    INVALID_DEGREE,
+    AtomicPairArray,
+)
+
+
+class TestSentinelEncoding:
+    def test_invalid_degree_dominates_every_legal_degree(self):
+        # inf plays UINT64_MAX: strictly larger than any valid degree
+        # and absorbed by no legal accumulation.
+        assert INVALID_DEGREE > DEGREE_EXACT_LIMIT
+        assert INVALID_DEGREE == INVALID_DEGREE + 1.0
+
+    def test_swap_round_trips_the_sentinel(self):
+        atoms = AtomicPairArray(np.array([5.0, 3.0]))
+        old = atoms.swap_degree(0, INVALID_DEGREE)
+        assert old == 5.0
+        assert atoms.load_degree(0) == INVALID_DEGREE
+        atoms.store_degree(0, old)
+        assert atoms.load_degree(0) == 5.0
+
+
+class TestExactnessRegression:
+    def test_degrees_exact_up_to_the_limit(self):
+        # The largest odd integers below 2**53 survive the float64
+        # round-trip bit-exactly — the regime the guard guarantees.
+        big = float(2**53 - 1)
+        atoms = AtomicPairArray(np.array([big]))
+        assert atoms.load_degree(0) == big
+        assert int(atoms.swap_degree(0, INVALID_DEGREE)) == 2**53 - 1
+
+    def test_float64_drifts_at_the_limit(self):
+        # Why the guard exists: at 2**53 the integer lattice of float64
+        # becomes coarser than 1, so degree accumulation silently loses
+        # mass where the paper's u64 arithmetic would not.
+        assert float(2**53) + 1.0 == float(2**53)
+        assert float(2**53 - 1) + 1.0 != float(2**53 - 1)
+
+    def test_constructor_rejects_sums_at_the_limit(self):
+        with pytest.raises(PrecisionError, match="2\\*\\*53"):
+            AtomicPairArray(np.array([float(2**53)]))
+
+    def test_constructor_rejects_sums_crossing_the_limit(self):
+        # Each degree is representable; their *sum* is not exact.
+        half = float(2**52)
+        with pytest.raises(PrecisionError, match="2\\*\\*53"):
+            AtomicPairArray(np.array([half, half, 2.0]))
+
+    def test_constructor_accepts_sums_below_the_limit(self):
+        atoms = AtomicPairArray(np.array([float(2**52), float(2**52 - 1)]))
+        assert len(atoms) == 2
+
+    def test_constructor_rejects_nonfinite_degrees(self):
+        with pytest.raises(PrecisionError, match="finite"):
+            AtomicPairArray(np.array([1.0, INVALID_DEGREE]))
+        with pytest.raises(PrecisionError, match="finite"):
+            AtomicPairArray(np.array([1.0, float("nan")]))
+
+    def test_constructor_rejects_negative_degrees(self):
+        with pytest.raises(PrecisionError, match="non-negative"):
+            AtomicPairArray(np.array([1.0, -0.5]))
+
+    def test_empty_array_is_fine(self):
+        assert len(AtomicPairArray(np.array([]))) == 0

@@ -149,3 +149,109 @@ class TestStress:
     def test_zero_seeds_rejected_not_vacuously_green(self, capsys):
         assert main(["stress", "--seeds", "0", "--scale", "4"]) == 2
         assert "--seeds must be >= 1" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        d = tmp_path / "repro" / "order"
+        d.mkdir(parents=True)
+        (d / "fine.py").write_text("import numpy as np\nx = np.int64(3)\n")
+        assert main(["check", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        d = tmp_path / "repro" / "parallel"
+        d.mkdir(parents=True)
+        (d / "bad.py").write_text("import threading\nx = threading.Lock()\n")
+        assert main(["check", str(tmp_path)]) == 1
+        assert "[lock-in-lockfree-path]" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        d = tmp_path / "repro" / "parallel"
+        d.mkdir(parents=True)
+        (d / "bad.py").write_text("import threading\nx = threading.Lock()\n")
+        assert main(["check", str(tmp_path), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert doc["findings"][0]["rule"] == "lock-in-lockfree-path"
+
+    def test_rule_selection(self, tmp_path, capsys):
+        d = tmp_path / "repro" / "parallel"
+        d.mkdir(parents=True)
+        (d / "bad.py").write_text("import threading\nx = threading.Lock()\n")
+        assert main(["check", str(tmp_path), "--rule", "layering"]) == 0
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path), "--rule", "bogus"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "lock-in-lockfree-path" in out
+        assert "import-cycle" in out and "[project]" in out
+
+    def test_own_source_tree_is_clean(self, capsys):
+        from pathlib import Path
+
+        import repro
+
+        src = Path(repro.__file__).resolve().parents[1]
+        assert main(["check", str(src)]) == 0
+
+
+class TestStressRaces:
+    def test_races_flag_smoke(self, capsys):
+        assert main(
+            ["stress", "--quick", "--scale", "5", "--seeds", "2", "--races"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "race detection on" in out
+        assert "races" in out  # table column
+
+    def test_threads_executor_flag(self, capsys):
+        assert main(
+            ["stress", "--quick", "--scale", "5", "--seeds", "2",
+             "--races", "--executor", "threads"]
+        ) == 0
+        assert "executor=threads" in capsys.readouterr().out
+
+
+class TestBenchCompareExit:
+    @pytest.fixture(scope="class")
+    def bench_docs(self, tmp_path_factory):
+        import copy
+
+        from repro.obs import bench as ob
+
+        doc = ob.run_suite("smoke", repeats=1)
+        base = tmp_path_factory.mktemp("bench") / "base.json"
+        ob.save_bench(doc, base)
+        regressed = copy.deepcopy(doc)
+        regressed["results"][0]["phases"]["reorder_s"] = (
+            doc["results"][0]["phases"]["reorder_s"] * 100.0 + 10.0
+        )
+        reg = base.parent / "regressed.json"
+        ob.save_bench(regressed, reg)
+        missing = copy.deepcopy(doc)
+        missing["results"] = missing["results"][1:]
+        mis = base.parent / "missing.json"
+        ob.save_bench(missing, mis)
+        return str(base), str(reg), str(mis)
+
+    def test_identical_docs_exit_zero(self, bench_docs, capsys):
+        base, _, _ = bench_docs
+        assert main(["bench", "--compare", base, "--against", base]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, bench_docs, capsys):
+        base, reg, _ = bench_docs
+        assert main(["bench", "--compare", base, "--against", reg]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_cell_exits_nonzero(self, bench_docs, capsys):
+        base, _, mis = bench_docs
+        assert main(["bench", "--compare", base, "--against", mis]) == 1
+        assert "MISSING" in capsys.readouterr().out
