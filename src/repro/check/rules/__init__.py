@@ -5,6 +5,6 @@ Rule catalogue (ids, rationale, suppression syntax): ``docs/CHECKS.md``.
 
 from __future__ import annotations
 
-from repro.check.rules import concurrency, determinism, dtypes, imports
+from repro.check.rules import concurrency, determinism, dtypes, imports, io
 
-__all__ = ["concurrency", "determinism", "dtypes", "imports"]
+__all__ = ["concurrency", "determinism", "dtypes", "imports", "io"]

@@ -6,8 +6,9 @@
   reproduction to lean on reference implementations instead of the
   paper's algorithms.
 * ``layering`` — base layers may not import upward.  ``repro.errors``
-  imports nothing from the package; ``repro.graph`` may import only
-  ``repro.errors`` (in particular: no ``repro.obs`` from ``repro.graph``
+  imports nothing from the package; ``repro.ioutil`` only
+  ``repro.errors``; ``repro.graph`` may import only ``repro.errors`` and
+  ``repro.ioutil`` (in particular: no ``repro.obs`` from ``repro.graph``
   — the graph kernel must stay observability-free).
 * ``import-cycle`` — no module-level import cycles anywhere in the
   scanned tree (lazy function-level imports are exempt; they are the
@@ -26,7 +27,10 @@ __all__ = ["NetworkxInSrc", "Layering", "ImportCycle"]
 #: package -> repro packages it may import (absent = unrestricted)
 _ALLOWED_DEPS: Dict[str, Set[str]] = {
     "repro.errors": set(),
-    "repro.graph": {"repro.errors"},
+    "repro.ioutil": {"repro.errors"},
+    # atomic artifact installation (repro.ioutil) is base infrastructure,
+    # like errors; observability is still off-limits here
+    "repro.graph": {"repro.errors", "repro.ioutil"},
 }
 
 

@@ -1,0 +1,99 @@
+"""I/O rules.
+
+``bare-open-write`` — result artifacts (graphs, permutations, bench
+baselines, reports, checkpoints) must be installed atomically via
+:mod:`repro.ioutil` (tmp + fsync + rename), never written in place with
+a bare ``open(..., "w")``: a run killed mid-write would leave a torn,
+half-valid file that a later run (or a resume) silently trusts.  The
+chaos campaign SIGKILLs runs at arbitrary points, so every artifact
+writer on a kill path has to survive that.
+
+Streaming writers that are *transport*, not artifact installation (e.g.
+the edge-list/METIS text emitters, which write gigabytes incrementally)
+may suppress with ``# repro: ignore[bare-open-write] <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.check.astutil import collect_imports
+from repro.check.engine import FileContext, Finding, Rule, register_rule
+
+__all__ = ["BareOpenWrite"]
+
+#: mode characters that create/truncate/append — i.e. write the file
+_WRITE_MODE_CHARS = frozenset("wax")
+
+
+def _rebinds_open(tree: ast.AST) -> bool:
+    """True if the file binds the name ``open`` anywhere (parameter,
+    assignment, def) — then bare ``open(...)`` may not be the builtin,
+    and the rule stays conservatively silent for the whole file."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.arg) and node.arg == "open":
+            return True
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            if node.id == "open":
+                return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name == "open":
+                return True
+    return False
+
+
+def _write_mode(node: ast.Call) -> Optional[str]:
+    """The call's file mode if it is a *write* mode string, else None."""
+    mode_node: Optional[ast.AST] = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode_node = kw.value
+    if (
+        isinstance(mode_node, ast.Constant)
+        and isinstance(mode_node.value, str)
+        and _WRITE_MODE_CHARS & set(mode_node.value)
+    ):
+        return mode_node.value
+    return None
+
+
+class BareOpenWrite(Rule):
+    id = "bare-open-write"
+    rationale = (
+        "In-place artifact writes tear under SIGKILL; install results "
+        "through repro.ioutil's atomic tmp+fsync+rename helpers so "
+        "readers and resumed runs only ever see complete files."
+    )
+    scope = ("repro/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = collect_imports(ctx.tree)
+        open_rebound = _rebinds_open(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_open = (
+                isinstance(func, ast.Name)
+                and func.id == "open"
+                and func.id not in imports.aliases
+                and not open_rebound
+            ) or imports.resolve(func) == "io.open"
+            if not is_open:
+                continue
+            mode = _write_mode(node)
+            if mode is not None:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"bare open(..., {mode!r}) writes in place; use "
+                    "repro.ioutil.atomic_writer / atomic_write_text / "
+                    "atomic_write_bytes so the artifact installs "
+                    "atomically",
+                )
+
+
+register_rule(BareOpenWrite())

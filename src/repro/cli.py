@@ -76,35 +76,189 @@ def _save_graph(graph, path: str) -> None:
         write_edge_list(graph, path)
 
 
+def _save_permutation(path: str, permutation) -> None:
+    from repro.ioutil import atomic_numpy_save
+
+    dest = Path(path)
+    if not dest.name.endswith(".npy"):  # np.save's own suffix rule
+        dest = dest.with_name(dest.name + ".npy")
+    atomic_numpy_save(dest, lambda buf: np.save(buf, permutation))
+
+
+def _resilience_flags(args) -> bool:
+    return any(
+        getattr(args, name, None) is not None
+        for name in ("checkpoint_dir", "resume", "time_budget",
+                     "mem_budget", "ladder")
+    )
+
+
+def _reorder_resilient(args, graph):
+    """Handle ``reorder`` when any resilience flag is present.
+
+    With budgets or a ladder: run under the :class:`RunSupervisor` (the
+    checkpoint directory, when given, carries progress across degraded
+    rungs).  With only checkpoint/resume flags: plain
+    :func:`~repro.rabbit.order.rabbit_order` with snapshotting.
+    Returns the :class:`~repro.rabbit.order.RabbitResult`.
+    """
+    from repro.rabbit.order import rabbit_order
+    from repro.resilience import (
+        Budgets,
+        CheckpointConfig,
+        SupervisorPolicy,
+        default_ladder,
+        parse_ladder,
+        supervised_rabbit_order,
+    )
+
+    engine = args.engine or "fast"
+    checkpoint = None
+    if args.checkpoint_dir is not None:
+        checkpoint = CheckpointConfig(
+            directory=args.checkpoint_dir, every=args.checkpoint_every
+        )
+    supervised = any(
+        v is not None for v in (args.time_budget, args.mem_budget, args.ladder)
+    )
+    if not supervised:
+        return rabbit_order(
+            graph,
+            engine=engine,
+            checkpoint=checkpoint,
+            resume=args.resume,
+        )
+    if args.resume is not None:
+        raise ReproError(
+            "--resume combines with --checkpoint-dir only; supervised runs "
+            "(--time-budget/--mem-budget/--ladder) resume from the "
+            "checkpoint directory automatically"
+        )
+    budgets = Budgets(
+        time_s=args.time_budget,
+        rss_bytes=(
+            None if args.mem_budget is None
+            else int(args.mem_budget * 2**20)
+        ),
+    )
+    policy = SupervisorPolicy(
+        budgets=budgets,
+        ladder=(
+            default_ladder(args.threads) if args.ladder is None
+            else parse_ladder(args.ladder, args.threads)
+        ),
+        checkpoint=checkpoint,
+        seed=args.seed,
+    )
+    result, report = supervised_rabbit_order(
+        graph, policy=policy, num_threads=args.threads
+    )
+    print(report.summary())
+    return result
+
+
 def _cmd_reorder(args) -> int:
     from repro.order import get_algorithm
 
-    kwargs = {}
-    if args.engine:
-        if args.algorithm not in ("Rabbit", "RabbitDict"):
-            print(
-                f"error: --engine applies to the Rabbit orderings, "
-                f"not {args.algorithm!r}",
-                file=sys.stderr,
-            )
-            return 2
-        kwargs["engine"] = args.engine
+    resilient = _resilience_flags(args)
+    if (args.engine or resilient) and args.algorithm not in (
+        "Rabbit", "RabbitDict"
+    ):
+        print(
+            f"error: --engine and the resilience flags apply to the Rabbit "
+            f"orderings, not {args.algorithm!r}",
+            file=sys.stderr,
+        )
+        return 2
     graph = _load_graph(args.input)
+    if resilient:
+        with trace.capture() as cap:
+            res = _reorder_resilient(args, graph)
+        dt = sum(root.duration for root in cap.roots)
+        print(
+            f"{args.algorithm} reordered {graph.num_vertices} vertices / "
+            f"{graph.num_undirected_edges} edges in {dt:.2f}s "
+            f"({res.num_communities} communities, "
+            f"{res.stats.merges} merges)"
+        )
+        permutation = res.permutation
+    else:
+        kwargs = {}
+        if args.engine:
+            kwargs["engine"] = args.engine
+        with trace.capture() as cap:
+            result = get_algorithm(args.algorithm)(
+                graph, rng=args.seed, **kwargs
+            )
+        dt = sum(root.duration for root in cap.roots)
+        print(
+            f"{args.algorithm} reordered {graph.num_vertices} vertices / "
+            f"{graph.num_undirected_edges} edges in {dt:.2f}s "
+            f"(work={result.stats.work:.0f})"
+        )
+        permutation = result.permutation
+    if args.verbose:
+        print(cap.format())
+    if args.perm_out:
+        _save_permutation(args.perm_out, permutation)
+        print(f"permutation -> {args.perm_out}")
+    if args.graph_out:
+        _save_graph(graph.permute(permutation), args.graph_out)
+        print(f"reordered graph -> {args.graph_out}")
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    """``repro resume``: finish a checkpointed detection run.
+
+    The run configuration (engine, executor, thread count, scheduler
+    seed, merge threshold, snapshot cadence) is reconstructed from the
+    snapshot's own metadata — the caller only points at the checkpoint
+    and the graph it came from (fingerprint-verified).
+    """
+    from repro.rabbit.order import rabbit_order, resolve_resume
+    from repro.resilience import CheckpointConfig
+
+    snap = resolve_resume(args.checkpoint)
+    cfg = snap.config
+    fingerprint = snap.meta.get("fingerprint", {})
+    graph = _load_graph(args.input)
+    kwargs = {
+        "merge_threshold": float(fingerprint.get("merge_threshold", 0.0)),
+        "resume": snap,
+    }
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and Path(args.checkpoint).is_dir():
+        checkpoint_dir = args.checkpoint  # keep snapshotting where we found it
+    if checkpoint_dir is not None:
+        kwargs["checkpoint"] = CheckpointConfig(
+            directory=checkpoint_dir,
+            every=int(cfg.get("checkpoint_every", 1024)),
+        )
+    if cfg.get("parallel", False):
+        kwargs.update(
+            parallel=True,
+            num_threads=int(cfg.get("num_threads", 4)),
+            scheduler_seed=cfg.get("scheduler_seed"),
+        )
+    else:
+        kwargs["engine"] = cfg.get("engine", "fast")
     with trace.capture() as cap:
-        result = get_algorithm(args.algorithm)(graph, rng=args.seed, **kwargs)
+        res = rabbit_order(graph, **kwargs)
     dt = sum(root.duration for root in cap.roots)
     print(
-        f"{args.algorithm} reordered {graph.num_vertices} vertices / "
-        f"{graph.num_undirected_edges} edges in {dt:.2f}s "
-        f"(work={result.stats.work:.0f})"
+        f"resumed {cfg.get('engine', '?')} detection at "
+        f"{snap.progress}/{graph.num_vertices} vertices; finished in "
+        f"{dt:.2f}s ({res.num_communities} communities, "
+        f"{res.stats.merges} merges)"
     )
     if args.verbose:
         print(cap.format())
     if args.perm_out:
-        np.save(args.perm_out, result.permutation)
+        _save_permutation(args.perm_out, res.permutation)
         print(f"permutation -> {args.perm_out}")
     if args.graph_out:
-        _save_graph(graph.permute(result.permutation), args.graph_out)
+        _save_graph(graph.permute(res.permutation), args.graph_out)
         print(f"reordered graph -> {args.graph_out}")
     return 0
 
@@ -200,11 +354,23 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_stress(args) -> int:
-    from repro.experiments.stress import run_stress
+    from repro.experiments.stress import run_chaos, run_stress
 
     if args.seeds < 1:
         print(f"error: --seeds must be >= 1, got {args.seeds}", file=sys.stderr)
         return 2
+    if args.chaos:
+        report = run_chaos(
+            scale=args.scale,
+            edge_factor=args.edge_factor,
+            graph_seed=args.graph_seed,
+            num_seeds=args.seeds,
+            num_threads=args.threads,
+            quick=args.quick,
+            executor=args.executor,
+        )
+        print(report.table())
+        return 0 if report.ok else 1
     report = run_stress(
         scale=args.scale,
         edge_factor=args.edge_factor,
@@ -294,9 +460,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--perm-out", help="write pi as .npy")
     p.add_argument("--graph-out", help="write the reordered graph")
+    p.add_argument("--checkpoint-dir", metavar="DIR",
+                   help="snapshot Rabbit detection state into DIR so a "
+                        "killed run can resume")
+    p.add_argument("--checkpoint-every", type=int, default=1024,
+                   metavar="N", help="vertices between snapshots")
+    p.add_argument("--resume", metavar="PATH",
+                   help="resume Rabbit detection from a checkpoint file "
+                        "or directory (newest snapshot wins)")
+    p.add_argument("--time-budget", type=float, metavar="SECONDS",
+                   help="run under the supervisor with this wall-clock "
+                        "budget per attempt")
+    p.add_argument("--mem-budget", type=float, metavar="MIB",
+                   help="run under the supervisor with this RSS budget")
+    p.add_argument("--ladder", metavar="SPEC",
+                   help="supervisor degradation ladder, comma-separated "
+                        "rung names (default: "
+                        "par-threads,par-interleave,fastseq,dict)")
+    p.add_argument("--threads", type=int, default=4,
+                   help="threads for supervised parallel rungs")
     p.add_argument("--verbose", "-v", action="store_true",
                    help="print the per-phase span breakdown")
     p.set_defaults(fn=_cmd_reorder)
+
+    p = sub.add_parser(
+        "resume", help="finish a checkpointed Rabbit detection run"
+    )
+    p.add_argument("checkpoint",
+                   help="checkpoint file or directory (newest snapshot wins)")
+    p.add_argument("input", help="the graph the checkpoint came from "
+                                 "(fingerprint-verified)")
+    p.add_argument("--checkpoint-dir", metavar="DIR",
+                   help="continue snapshotting into DIR (default: the "
+                        "checkpoint's own directory)")
+    p.add_argument("--perm-out", help="write pi as .npy")
+    p.add_argument("--graph-out", help="write the reordered graph")
+    p.add_argument("--verbose", "-v", action="store_true",
+                   help="print the per-phase span breakdown")
+    p.set_defaults(fn=_cmd_resume)
 
     p = sub.add_parser("analyze", help="run an analysis algorithm")
     p.add_argument("input")
@@ -340,6 +541,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="deterministic interleaving scheduler or real threads")
     p.add_argument("--races", action="store_true",
                    help="run the happens-before race detector on every cell")
+    p.add_argument("--chaos", action="store_true",
+                   help="chaos campaign instead: SIGKILL a checkpointing "
+                        "subprocess mid-detection, resume, verify the "
+                        "permutation matches the uninterrupted run")
     p.set_defaults(fn=_cmd_stress)
 
     p = sub.add_parser(

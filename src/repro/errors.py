@@ -21,6 +21,10 @@ __all__ = [
     "BenchFormatError",
     "CheckError",
     "PrecisionError",
+    "CheckpointError",
+    "AttemptAbortedError",
+    "BudgetExceededError",
+    "StallError",
 ]
 
 
@@ -83,3 +87,23 @@ class CheckError(ReproError):
 class PrecisionError(ReproError):
     """A numeric domain left the range where float64 arithmetic is exact
     (degree sums at or above 2**53), so results could silently drift."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is corrupt (bad magic/CRC/truncation), has an
+    unsupported schema version, or is stale (its fingerprint does not
+    match the run being resumed)."""
+
+
+class AttemptAbortedError(ReproError):
+    """A supervised attempt was cancelled cooperatively (by the
+    watchdog, a budget, or an explicit cancel) at a heartbeat point."""
+
+
+class BudgetExceededError(AttemptAbortedError):
+    """A supervised attempt exceeded its wall-clock or RSS budget."""
+
+
+class StallError(AttemptAbortedError):
+    """The progress watchdog saw no forward progress (metrics counters
+    frozen) for longer than the configured stall timeout."""

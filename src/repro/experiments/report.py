@@ -2,14 +2,19 @@
 
 Every experiment prints the same rows/series as the corresponding paper
 table or figure, as an aligned text table (figures become tables of their
-plotted values).
+plotted values).  :func:`save_table` installs a rendered table on disk
+atomically (tmp + fsync + rename, via :mod:`repro.ioutil`), so a
+half-written report can never shadow a complete one.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Sequence
 
-__all__ = ["format_table", "print_table"]
+from repro.ioutil import atomic_write_text
+
+__all__ = ["format_table", "print_table", "save_table"]
 
 
 def _fmt_cell(value, precision: int) -> str:
@@ -58,3 +63,21 @@ def print_table(
     """Print :func:`format_table` output followed by a blank line."""
     print(format_table(headers, rows, title=title, precision=precision))
     print()
+
+
+def save_table(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+) -> Path:
+    """Atomically write :func:`format_table` output to *path*.
+
+    Returns the written path.
+    """
+    text = format_table(headers, rows, title=title, precision=precision)
+    dest = Path(path)
+    atomic_write_text(dest, text + "\n")
+    return dest

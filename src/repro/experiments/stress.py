@@ -16,7 +16,16 @@ the CI smoke variant).
 
 from __future__ import annotations
 
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
 from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
 
 from repro.errors import PermutationError, ReproError
 from repro.graph.generators import rmat_graph
@@ -31,6 +40,9 @@ __all__ = [
     "StressReport",
     "DEFAULT_CASES",
     "run_stress",
+    "ChaosOutcome",
+    "ChaosReport",
+    "run_chaos",
 ]
 
 
@@ -263,4 +275,341 @@ def run_stress(
                 )
             )
     report.metrics = counter_delta(counters_before, registry.counter_values())
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Chaos campaign: real SIGKILL of a checkpointing subprocess + resume.
+
+
+#: Fault plan composed with the SIGKILL on the parallel chaos cells, so
+#: the kill lands on a run that is *already* recovering from injected
+#: CAS storms, spurious invalid reads, stalls, and simulated crashes.
+CHAOS_KILL_PLAN = FaultPlan(
+    cas_failure_rate=0.3,
+    spurious_invalid_rate=0.1,
+    spurious_window=4,
+    stall_rate=0.02,
+    stall_steps=30,
+    max_stalls=8,
+    crash_rate=0.01,
+    max_crashes=2,
+)
+
+#: Exit code the chaos child returns when detection finished before the
+#: kill hook ever fired (a campaign bug, not a detection bug).
+_CHILD_NOT_KILLED = 3
+
+
+def _checkpointed_permutation(
+    graph,
+    *,
+    engine: str,
+    executor: str,
+    num_threads: int,
+    seed: int,
+    plan: FaultPlan | None,
+    directory,
+    every: int,
+    resume=None,
+):
+    """One checkpointed detection run; returns the permutation π.
+
+    Baseline, child, and resumed runs all go through this same
+    configuration, so bit-identity comparisons are against the identical
+    checkpointed driver (the parallel round-based driver reseeds per
+    round and is only comparable to itself).
+    """
+    from repro.resilience.checkpoint import CheckpointConfig
+
+    checkpoint = CheckpointConfig(directory=directory, every=every)
+    if engine == "par":
+        res = community_detection_par(
+            graph,
+            num_threads=num_threads,
+            scheduler_seed=seed if executor == "interleave" else None,
+            fault_plan=plan,
+            audit=True,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+        return res.dendrogram.ordering()
+    from repro.rabbit.seq import community_detection_seq
+
+    dendrogram, _ = community_detection_seq(
+        graph, engine=engine, checkpoint=checkpoint, resume=resume
+    )
+    return dendrogram.ordering()
+
+
+def _chaos_child_main(spec_path: str) -> int:
+    """Entry point of the chaos *child* process.
+
+    Runs a checkpointed detection with an ``on_save`` hook that SIGKILLs
+    the process the first time a snapshot at or past ``kill_at`` decided
+    vertices lands — a real, uncatchable death mid-detection, at a
+    replayable point.  Returns ``_CHILD_NOT_KILLED`` if detection
+    finishes first (the parent treats that as a campaign failure).
+    """
+    from repro.graph.npz import load_npz
+    from repro.resilience.checkpoint import CheckpointConfig, Checkpointer
+
+    spec = json.loads(Path(spec_path).read_text())
+    graph = load_npz(spec["graph"])
+    kill_at = int(spec["kill_at"])
+
+    def kill_on_save(progress: int, path) -> None:
+        if progress >= kill_at:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    checkpointer = Checkpointer(
+        CheckpointConfig(directory=spec["dir"], every=int(spec["every"])),
+        on_save=kill_on_save,
+    )
+    plan = None if spec["plan"] is None else FaultPlan(**spec["plan"])
+    engine = spec["engine"]
+    if engine == "par":
+        community_detection_par(
+            graph,
+            num_threads=int(spec["num_threads"]),
+            scheduler_seed=(
+                int(spec["seed"]) if spec["executor"] == "interleave" else None
+            ),
+            fault_plan=plan,
+            checkpoint=checkpointer,
+        )
+    else:
+        from repro.rabbit.seq import community_detection_seq
+
+        community_detection_seq(graph, engine=engine, checkpoint=checkpointer)
+    return _CHILD_NOT_KILLED
+
+
+_CHILD_CODE = (
+    "import sys; from repro.experiments.stress import _chaos_child_main; "
+    "sys.exit(_chaos_child_main(sys.argv[1]))"
+)
+
+
+@dataclass
+class ChaosOutcome:
+    """One (engine, case, seed) cell of the chaos campaign."""
+
+    engine: str
+    case: str
+    seed: int
+    ok: bool
+    #: progress of the newest checkpoint the killed child left behind
+    resumed_from: int = 0
+    #: whether the resumed permutation was bit-compared to the baseline
+    #: (real multi-threaded runs are audit-validated instead)
+    compared: bool = False
+    error: str | None = None
+
+
+@dataclass
+class ChaosReport:
+    """All outcomes of a chaos campaign."""
+
+    graph_desc: str
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def failures(self) -> list[ChaosOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def table(self) -> str:
+        header = (
+            f"{'engine':<8} {'case':<10} {'seed':>5} {'resumed@':>9} "
+            f"{'compared':>9} {'ok':>4}"
+        )
+        lines = [f"chaos campaign on {self.graph_desc}", header,
+                 "-" * len(header)]
+        for o in self.outcomes:
+            lines.append(
+                f"{o.engine:<8} {o.case:<10} {o.seed:>5} {o.resumed_from:>9} "
+                f"{'yes' if o.compared else 'audit':>9} "
+                f"{'ok' if o.ok else 'FAIL':>4}"
+            )
+        for o in self.failures:
+            lines.append(
+                f"FAILED {o.engine}/{o.case} seed={o.seed}: {o.error}"
+            )
+        verdict = (
+            "every killed run resumed to a verified permutation"
+            if self.ok
+            else f"{len(self.failures)} of {len(self.outcomes)} cells FAILED"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.table()
+
+
+def _run_chaos_cell(
+    graph,
+    graph_path,
+    workdir,
+    *,
+    engine: str,
+    case: str,
+    plan: FaultPlan | None,
+    seed: int,
+    executor: str,
+    num_threads: int,
+    every: int,
+) -> ChaosOutcome:
+    import repro
+    from repro.resilience.checkpoint import latest_checkpoint
+
+    outcome = ChaosOutcome(engine=engine, case=case, seed=seed, ok=False)
+    plan = None if plan is None else replace(plan, seed=seed)
+    cell_dir = Path(workdir) / f"{engine}-{case}-{seed}"
+    baseline_dir = cell_dir / "baseline"
+    kill_dir = cell_dir / "kill"
+    try:
+        baseline = _checkpointed_permutation(
+            graph,
+            engine=engine,
+            executor=executor,
+            num_threads=num_threads,
+            seed=seed,
+            plan=plan,
+            directory=baseline_dir,
+            every=every,
+        )
+        spec = {
+            "graph": str(graph_path),
+            "engine": engine,
+            "executor": executor,
+            "num_threads": num_threads,
+            "seed": seed,
+            "plan": None if plan is None else plan.__dict__,
+            "dir": str(kill_dir),
+            "every": every,
+            # vary the kill point across seeds (always a reachable
+            # snapshot: seq snapshots every ``every``, par every round)
+            "kill_at": every * (1 + seed % 2),
+        }
+        spec_path = cell_dir / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD_CODE, str(spec_path)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        if proc.returncode != -signal.SIGKILL:
+            tail = proc.stderr.strip().splitlines()[-3:]
+            raise ReproError(
+                f"child was not SIGKILLed (exit {proc.returncode}): "
+                + " | ".join(tail)
+            )
+        found = latest_checkpoint(kill_dir)
+        if found is None:
+            raise ReproError("killed child left no loadable checkpoint")
+        outcome.resumed_from = found[1].progress
+        resumed = _checkpointed_permutation(
+            graph,
+            engine=engine,
+            executor=executor,
+            num_threads=num_threads,
+            seed=seed,
+            plan=plan,
+            directory=kill_dir,
+            every=every,
+            resume=found[1],
+        )
+        validate_permutation(resumed, graph.num_vertices)
+        # Real multi-threaded schedules are nondeterministic, so resumed
+        # runs are audit-validated above rather than bit-compared.
+        outcome.compared = executor == "interleave" or num_threads == 1
+        if outcome.compared and not np.array_equal(resumed, baseline):
+            raise ReproError(
+                "resumed permutation differs from the uninterrupted run"
+            )
+        outcome.ok = True
+    except (
+        ReproError,
+        PermutationError,
+        OSError,
+        subprocess.SubprocessError,
+    ) as exc:
+        outcome.error = f"{type(exc).__name__}: {exc}"
+    return outcome
+
+
+def run_chaos(
+    *,
+    scale: int = 6,
+    edge_factor: int = 4,
+    graph_seed: int = 3,
+    num_seeds: int = 5,
+    num_threads: int = 4,
+    quick: bool = False,
+    executor: str = "interleave",
+    engines: tuple[str, ...] | None = None,
+) -> ChaosReport:
+    """SIGKILL-and-resume campaign over engines × seeds.
+
+    Each cell: (1) run a checkpointed detection uninterrupted (the
+    baseline); (2) run the identical configuration in a *subprocess*
+    whose checkpointer SIGKILLs it mid-detection; (3) resume in-process
+    from the newest snapshot the corpse left behind and require the
+    finished permutation to be valid — and, for replayable executions
+    (the interleaving scheduler, or one real thread), bit-identical to
+    the baseline.  Parallel cells also run a ``faulted`` case where the
+    kill is composed with :data:`CHAOS_KILL_PLAN` injection.
+    """
+    from repro.graph.npz import save_npz
+
+    if executor not in ("interleave", "threads"):
+        raise ReproError(
+            f"executor must be 'interleave' or 'threads', got {executor!r}"
+        )
+    if engines is None:
+        engines = ("par", "fast") if quick else ("par", "fast", "dict")
+    if quick:
+        num_seeds = min(num_seeds, 2)
+    graph = rmat_graph(scale, edge_factor=edge_factor, rng=graph_seed)
+    every = max(1, graph.num_vertices // 6)
+    report = ChaosReport(
+        graph_desc=(
+            f"R-MAT scale={scale} ({graph.num_vertices} vertices, "
+            f"{graph.num_undirected_edges} edges), {num_seeds} seeds, "
+            f"executor={executor}, engines={'/'.join(engines)}"
+        )
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+        graph_path = Path(workdir) / "graph.npz"
+        save_npz(graph, graph_path)
+        for engine in engines:
+            cases = [("clean", None)]
+            if engine == "par":
+                cases.append(("faulted", CHAOS_KILL_PLAN))
+            for case, plan in cases:
+                for seed in range(num_seeds):
+                    report.outcomes.append(
+                        _run_chaos_cell(
+                            graph,
+                            graph_path,
+                            workdir,
+                            engine=engine,
+                            case=case,
+                            plan=plan,
+                            seed=seed,
+                            executor=executor,
+                            num_threads=num_threads,
+                            every=every,
+                        )
+                    )
     return report

@@ -26,9 +26,20 @@ __all__ = [
 ]
 
 
-def _open_text(path_or_file, mode: str):
+def _open_read(path_or_file):
     if isinstance(path_or_file, (str, Path)):
-        return open(path_or_file, mode, encoding="utf-8"), True
+        return open(path_or_file, "r", encoding="utf-8"), True
+    return path_or_file, False
+
+
+def _open_write(path_or_file):
+    # Streaming transport, not artifact installation: the text emitters
+    # write multi-gigabyte edge lists incrementally for external tools,
+    # where buffering the whole file for an atomic rename is the wrong
+    # trade.  Durable *result* artifacts go through repro.ioutil.
+    if isinstance(path_or_file, (str, Path)):
+        # repro: ignore[bare-open-write] streaming writer (see above)
+        return open(path_or_file, "w", encoding="utf-8"), True
     return path_or_file, False
 
 
@@ -47,7 +58,7 @@ def read_edge_list(
     Lines starting with *comment* are skipped.  Vertex ids must be
     non-negative integers.
     """
-    fh, should_close = _open_text(path_or_file, "r")
+    fh, should_close = _open_read(path_or_file)
     try:
         srcs: list[int] = []
         dsts: list[int] = []
@@ -98,7 +109,7 @@ def write_edge_list(graph: CSRGraph, path_or_file, *, weighted: bool | None = No
     """
     if weighted is None:
         weighted = graph.is_weighted
-    fh, should_close = _open_text(path_or_file, "w")
+    fh, should_close = _open_write(path_or_file)
     try:
         src, dst, w = graph.edge_array()
         if weighted:
@@ -121,7 +132,7 @@ def read_metis(path_or_file) -> CSRGraph:
     Supports fmt codes ``0`` (unweighted) and ``1`` (edge weights).  Vertex
     weights (fmt ``10``/``11``) are rejected explicitly.
     """
-    fh, should_close = _open_text(path_or_file, "r")
+    fh, should_close = _open_read(path_or_file)
     try:
         header = None
         rows: list[tuple[int, list[str]]] = []
@@ -224,7 +235,7 @@ def write_metis(graph: CSRGraph, path_or_file) -> None:
     if not graph.is_symmetric():
         raise GraphFormatError("METIS format requires a symmetric graph")
     g = graph.without_self_loops()
-    fh, should_close = _open_text(path_or_file, "w")
+    fh, should_close = _open_write(path_or_file)
     try:
         fmt = " 1" if g.is_weighted else ""
         fh.write(f"{g.num_vertices} {g.num_undirected_edges}{fmt}\n")
@@ -252,7 +263,7 @@ def read_matrix_market(path_or_file) -> CSRGraph:
     matrices are taken as-is (directed).  ``pattern`` fields yield an
     unweighted graph.
     """
-    fh, should_close = _open_text(path_or_file, "r")
+    fh, should_close = _open_read(path_or_file)
     try:
         banner = fh.readline()
         if not banner.startswith("%%MatrixMarket"):
@@ -356,7 +367,7 @@ def read_matrix_market(path_or_file) -> CSRGraph:
 
 def write_matrix_market(graph: CSRGraph, path_or_file) -> None:
     """Write all directed slots as a ``general`` coordinate matrix."""
-    fh, should_close = _open_text(path_or_file, "w")
+    fh, should_close = _open_write(path_or_file)
     try:
         field = "real" if graph.is_weighted else "pattern"
         fh.write(f"%%MatrixMarket matrix coordinate {field} general\n")

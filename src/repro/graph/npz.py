@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import GraphFormatError
 from repro.graph.csr import CSRGraph
+from repro.ioutil import atomic_numpy_save
 
 __all__ = ["save_npz", "load_npz"]
 
@@ -22,7 +23,11 @@ _FORMAT_VERSION = 1
 
 
 def save_npz(graph: CSRGraph, path) -> None:
-    """Write *graph* to ``path`` (a ``.npz`` archive, compressed)."""
+    """Write *graph* to ``path`` (a ``.npz`` archive, compressed).
+
+    The archive is installed atomically (tmp + fsync + rename): a run
+    killed mid-save can never leave a torn archive behind.
+    """
     payload = {
         "format_version": np.array([_FORMAT_VERSION], dtype=np.int64),
         "indptr": graph.indptr,
@@ -30,7 +35,10 @@ def save_npz(graph: CSRGraph, path) -> None:
     }
     if graph.weights is not None:
         payload["weights"] = graph.weights
-    np.savez_compressed(Path(path), **payload)
+    dest = Path(path)
+    if not dest.name.endswith(".npz"):  # np.savez's own suffix rule
+        dest = dest.with_name(dest.name + ".npz")
+    atomic_numpy_save(dest, lambda buf: np.savez_compressed(buf, **payload))
 
 
 def load_npz(path) -> CSRGraph:

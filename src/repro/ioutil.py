@@ -1,0 +1,93 @@
+"""Crash-safe file persistence: the project's one atomic-write helper.
+
+Every artifact the pipeline persists — graph archives, bench baselines,
+permutations, checkpoints — must never be observable half-written: a
+process killed mid-write (the exact failure the resilience layer injects
+on purpose) would otherwise leave a torn file that a later run trusts.
+
+The recipe is the classic tmp + fsync + rename:
+
+1. write the full payload to a temporary file *in the destination
+   directory* (same filesystem, so the final rename is atomic),
+2. flush and ``fsync`` the file so the bytes are durable before the name
+   appears,
+3. ``os.replace`` onto the destination (atomic on POSIX and Windows).
+
+Readers therefore see either the old complete file or the new complete
+file, never a mixture.  The ``bare-open-write`` lint rule
+(:mod:`repro.check.rules.io`) enforces that result-artifact writes in
+``src/`` go through this module.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Any, Callable, Iterator
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_writer",
+    "atomic_numpy_save",
+]
+
+
+@contextmanager
+def atomic_writer(path: str | Path, mode: str = "wb") -> Iterator[IO[Any]]:
+    """Context manager yielding a handle whose contents replace *path*
+    atomically on clean exit (and are discarded on error).
+
+    ``mode`` must be a write mode (``"wb"`` or ``"w"``); text mode uses
+    UTF-8.  The temporary file lives next to the destination so the
+    final ``os.replace`` never crosses a filesystem boundary.
+    """
+    if mode not in ("wb", "w"):
+        raise ValueError(f"atomic_writer mode must be 'w' or 'wb', got {mode!r}")
+    dest = Path(path)
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=dest.parent, prefix=f".{dest.name}.", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        # repro: ignore[bare-open-write]  this IS the atomic-write
+        # helper: the torn-write window only exists on the tmp name,
+        # which is renamed over the destination after fsync.
+        with os.fdopen(fd, mode, encoding="utf-8" if mode == "w" else None) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, dest)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Atomically replace *path* with *data*."""
+    with atomic_writer(path, "wb") as fh:
+        fh.write(data)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Atomically replace *path* with *text* (UTF-8)."""
+    with atomic_writer(path, "w") as fh:
+        fh.write(text)
+
+
+def atomic_numpy_save(path: str | Path, saver: Callable[[IO[bytes]], None]) -> None:
+    """Atomically persist a numpy artifact.
+
+    *saver* receives a binary buffer and is expected to call
+    ``np.save(buf, ...)`` / ``np.savez(buf, ...)`` on it; the rendered
+    bytes are then installed with one atomic replace.  Buffering in
+    memory first keeps numpy's own (non-atomic) writer off the real
+    destination entirely.
+    """
+    buf = io.BytesIO()
+    saver(buf)
+    atomic_write_bytes(path, buf.getvalue())

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.errors import BenchFormatError, DatasetError
 from repro.graph.csr import CSRGraph
+from repro.ioutil import atomic_write_text
 from repro.graph.generators.hierarchical import hierarchical_community_graph
 from repro.graph.generators.rmat import rmat_graph
 from repro.metrics.locality import (
@@ -306,7 +307,9 @@ def run_suite(
 
 def save_bench(doc: dict[str, Any], path: str | Path) -> None:
     require_valid_bench(doc, source=str(path))
-    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    # Atomic install: a baseline file is a long-lived artifact that later
+    # regression gates trust; a torn write must never replace a good one.
+    atomic_write_text(path, json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
 
 def load_bench(path: str | Path) -> dict[str, Any]:

@@ -151,6 +151,24 @@ class FaultInjector:
             self._enabled = False
             self._windows.clear()
 
+    def enable(self) -> None:
+        """Resume injecting after a :meth:`disable` (round-based runs)."""
+        with self._lock:
+            self._enabled = True
+
+    def reseed(self, seed: int) -> None:
+        """Restart the decision RNG from *seed*.
+
+        Round-based checkpointed runs reseed at every round boundary with
+        a seed derived from ``(plan.seed, rounds_completed)``, so a
+        resumed run draws exactly the fault sequence the uninterrupted
+        run would have drawn from that boundary on.  Counters are *not*
+        reset: the ``max_stalls``/``max_crashes`` caps stay cumulative
+        across rounds (and are restored from checkpoint meta on resume).
+        """
+        with self._lock:
+            self._rng = np.random.default_rng(seed)
+
     @property
     def enabled(self) -> bool:
         return self._enabled

@@ -199,17 +199,50 @@ class ThreadedRunner:
     consults the injector before every task step: a stall briefly yields
     the GIL ``stall_steps`` times (letting other threads race ahead), a
     crash abandons the task mid-flight without cleanup.
+
+    ``join_timeout_s`` bounds how long :meth:`run` waits for the pool to
+    quiesce.  The supervisor's watchdog can only cancel *cooperatively*
+    (at a heartbeat), so a worker wedged between heartbeats — a retry
+    livelock that never returns to the queue, a deadlocked generator —
+    would otherwise hang the join forever.  With a timeout set, worker
+    threads are daemonic and each records its last scheduling point
+    (steps taken, current task, seconds since the last step); on timeout
+    :meth:`run` raises :class:`~repro.errors.LivelockError` naming every
+    stuck worker and where it last advanced.  The default (``None``)
+    keeps the original untimed join and the untracked hot path.
     """
 
     def __init__(
-        self, num_threads: int, faults: "FaultInjector | None" = None
+        self,
+        num_threads: int,
+        faults: "FaultInjector | None" = None,
+        join_timeout_s: float | None = None,
     ):
         if num_threads < 1:
             raise SchedulerError(f"num_threads must be >= 1, got {num_threads}")
+        if join_timeout_s is not None and join_timeout_s <= 0:
+            raise SchedulerError(
+                f"join_timeout_s must be positive, got {join_timeout_s}"
+            )
         self.num_threads = num_threads
         self._faults = faults
+        self.join_timeout_s = join_timeout_s
         #: number of tasks abandoned by injected crashes in the last run
         self.crashed_tasks = 0
+        #: per-worker last scheduling point (only tracked with a timeout)
+        self.last_points: dict[str, dict] = {}
+
+    def _describe_point(self, name: str) -> str:
+        point = self.last_points.get(name)
+        if point is None:
+            return "never reached a scheduling point"
+        # repro: ignore[wall-clock-in-result-path]  livelock diagnostics
+        # on the failure path only; never part of a computed result.
+        idle = time.monotonic() - point["at"]
+        return (
+            f"task #{point['task']}, step {point['steps']}, "
+            f"idle {idle:.2f}s"
+        )
 
     def run(self, tasks: Iterable[TaskGen]) -> None:
         queue: deque[TaskGen] = deque(tasks)
@@ -222,14 +255,26 @@ class ThreadedRunner:
         self.crashed_tasks = 0
         num_tasks = len(queue)
 
-        def drive_task(task: TaskGen) -> None:
-            if injector is None:
+        def drive_task(task: TaskGen, note=None) -> None:
+            if injector is None and note is None:
                 for spawned in task:
                     if spawned is not None:
                         with lock:
                             queue.append(spawned)
                 return
+            if injector is None:
+                while True:
+                    note()
+                    try:
+                        spawned = next(task)
+                    except StopIteration:
+                        return
+                    if spawned is not None:
+                        with lock:
+                            queue.append(spawned)
             while True:
+                if note is not None:
+                    note()
                 action = injector.schedule_action()
                 if action == CRASH:
                     with lock:
@@ -247,14 +292,32 @@ class ThreadedRunner:
                     with lock:
                         queue.append(spawned)
 
+        timeout = self.join_timeout_s
+        self.last_points = {}
+
         def worker() -> None:
+            note = None
+            if timeout is not None:
+                # repro: ignore[wall-clock-in-result-path]  liveness
+                # bookkeeping for the join-timeout diagnostics; never
+                # part of a computed result.
+                point = {"task": 0, "steps": 0, "at": time.monotonic()}
+                self.last_points[threading.current_thread().name] = point
+
+                def note() -> None:
+                    point["steps"] += 1
+                    # repro: ignore[wall-clock-in-result-path]  as above.
+                    point["at"] = time.monotonic()
+
             while True:
                 with lock:
                     if not queue:
                         return
                     task = queue.popleft()
+                if timeout is not None:
+                    point["task"] += 1
                 try:
-                    drive_task(task)
+                    drive_task(task, note)
                 except BaseException as exc:  # noqa: BLE001 - reraised below
                     with lock:
                         errors.append(exc)
@@ -264,13 +327,37 @@ class ThreadedRunner:
             worker()
         else:
             threads = [
-                threading.Thread(target=worker, name=f"repro-worker-{i}")
+                threading.Thread(
+                    target=worker,
+                    name=f"repro-worker-{i}",
+                    # A stuck worker must not pin the interpreter open
+                    # once the timed join has already given up on it.
+                    daemon=timeout is not None,
+                )
                 for i in range(self.num_threads)
             ]
             for t in threads:
                 t.start()
-            for t in threads:
-                t.join()
+            if timeout is None:
+                for t in threads:
+                    t.join()
+            else:
+                # repro: ignore[wall-clock-in-result-path]  join deadline;
+                # failure path only.
+                deadline = time.monotonic() + timeout
+                for t in threads:
+                    # repro: ignore[wall-clock-in-result-path]  as above.
+                    t.join(max(0.0, deadline - time.monotonic()))
+                stuck = [t for t in threads if t.is_alive()]
+                if stuck:
+                    details = "; ".join(
+                        f"{t.name}: {self._describe_point(t.name)}"
+                        for t in stuck
+                    )
+                    raise LivelockError(
+                        f"{len(stuck)} worker thread(s) failed to quiesce "
+                        f"within join_timeout_s={timeout}: {details}"
+                    )
         registry = get_registry()
         registry.counter("scheduler.threaded.runs").inc()
         registry.counter("scheduler.threaded.tasks").inc(num_tasks)

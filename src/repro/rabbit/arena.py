@@ -96,6 +96,35 @@ class AdjacencyArena:
         self.offset[v] = off
         self.length[v] = count
 
+    @classmethod
+    def from_pools(
+        cls,
+        offsets: np.ndarray,
+        lengths: np.ndarray,
+        keys: np.ndarray,
+        ws: np.ndarray,
+        *,
+        extra_capacity: int = 0,
+    ) -> "AdjacencyArena":
+        """Rebuild an arena from flattened ``(offset, length, keys, ws)``
+        pools — the checkpoint wire format of
+        :class:`repro.resilience.checkpoint.Snapshot`.
+
+        ``lengths`` uses this class's convention (:data:`NOT_STORED` for
+        never-aggregated vertices).  ``extra_capacity`` preallocates
+        headroom for the entries the resumed sweep will append.
+        """
+        n = int(offsets.size)
+        used = int(keys.size)
+        arena = cls(n, capacity=used + max(int(extra_capacity), 0))
+        arena.keys[:used] = keys
+        arena.ws[:used] = ws
+        stored = lengths >= 0
+        arena.offset[stored] = offsets[stored]
+        arena.length[:] = lengths
+        arena._cursor = used
+        return arena
+
     def store(self, v: int, keys, ws) -> None:
         """Reserve, fill and commit an entry for *v* in one call."""
         keys = np.asarray(keys, dtype=np.int64)

@@ -61,6 +61,15 @@ from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.rabbit.arena import AdjacencyArena
 from repro.rabbit.common import RabbitStats
+from repro.resilience.checkpoint import (
+    Snapshot,
+    as_checkpointer,
+    build_snapshot,
+    graph_fingerprint,
+    require_fingerprint_match,
+)
+from repro.resilience.runtime import heartbeat
+from repro.rabbit.seq import restore_stats, visit_order
 
 __all__ = ["community_detection_fastseq", "trace_dest_array", "SCALAR_CUTOFF"]
 
@@ -165,6 +174,28 @@ def _fold_vector(
     return nk, nw, loop, scanned
 
 
+def _adjacency_entries(
+    n: int,
+    ek: list,
+    ew: list,
+    aoff: list,
+    alen: list,
+    arena: AdjacencyArena,
+):
+    """Per-vertex folded ``(keys, ws)`` entries for snapshotting,
+    whichever residency (list or arena) currently holds them."""
+    keys_pool, ws_pool = arena.keys, arena.ws
+    for v in range(n):
+        ln = alen[v]
+        if ln < 0:
+            yield None
+        elif ek[v] is not None:
+            yield ek[v], ew[v]
+        else:
+            off = aoff[v]
+            yield keys_pool[off : off + ln], ws_pool[off : off + ln]
+
+
 def community_detection_fastseq(
     graph: CSRGraph,
     *,
@@ -173,6 +204,8 @@ def community_detection_fastseq(
     visit: str = "degree",
     visit_rng: int | None = 0,
     scalar_cutoff: int | None = None,
+    checkpoint=None,
+    resume: Snapshot | None = None,
 ) -> tuple[Dendrogram, RabbitStats]:
     """Flat-array sequential community detection.
 
@@ -187,8 +220,18 @@ def community_detection_fastseq(
         is used (``None`` = the tuned module default
         :data:`SCALAR_CUTOFF`; ``-1`` forces the vector path everywhere
         — used by the equivalence suite to exercise both paths).
+    checkpoint:
+        :class:`~repro.resilience.checkpoint.CheckpointConfig` or
+        :class:`~repro.resilience.checkpoint.Checkpointer`: snapshot the
+        aggregation state every ``every`` decided vertices.
+    resume:
+        :class:`~repro.resilience.checkpoint.Snapshot` to restore and
+        continue from (fingerprint-checked; restored entries all become
+        arena-resident, which never changes decisions — residency is a
+        performance detail, not an algorithmic one).
     """
     require_symmetric(graph, "Rabbit Order")
+    ckpt = as_checkpointer(checkpoint)
     cutoff = SCALAR_CUTOFF if scalar_cutoff is None else int(scalar_cutoff)
     n = graph.num_vertices
     with span("rabbit.seq.setup", n=n, engine="fast"):
@@ -212,22 +255,17 @@ def community_detection_fastseq(
         )
 
     two_m = 2.0 * m
-    if visit == "degree":
-        order = np.argsort(graph.degrees(), kind="stable")
-    elif visit == "identity":
-        order = np.arange(n, dtype=np.int64)
-    elif visit == "random":
-        order = np.random.default_rng(visit_rng).permutation(n).astype(np.int64)
+    fingerprint = graph_fingerprint(
+        graph, merge_threshold=merge_threshold, visit=visit, visit_rng=visit_rng
+    )
+    start = 0
+    if resume is None:
+        order = visit_order(graph, visit, visit_rng)
     else:
-        raise ValueError(
-            f"visit must be 'degree', 'identity' or 'random', got {visit!r}"
-        )
+        require_fingerprint_match(resume, fingerprint)
+        start = resume.progress
+        order = resume.order.copy()
     # Dual state: list view for scalar work, ndarray twin for gathers.
-    dest: list[int] = list(range(n))
-    dest_a = np.arange(n, dtype=np.int64)
-    comm_deg: list[float] = comm_deg_a.tolist()
-    indptr_l: list[int] = graph.indptr.tolist()
-    indices, weights = graph.indices, graph.weights
     # Folded adjacencies are write-once / read-at-most-once (an entry is
     # consumed only when its owner's merge target is itself visited), so
     # they live wherever the *producing* path left them: vector-path
@@ -235,19 +273,57 @@ def community_detection_fastseq(
     # gathers), scalar-path results stay as plain Python lists in
     # ``ek``/``ew`` (consumed without any ndarray round-trip) and are
     # wrapped into arrays only if a vector fold gathers them.
-    arena = AdjacencyArena(n, capacity=graph.num_edges + n + 1)
-    aoff: list[int] = [0] * n  # arena addressing (vector-resident entries)
-    alen: list[int] = [-1] * n  # folded entry sizes, both residencies
+    vw: list[int] | None = [0] * n if collect_vertex_work else None
+    if resume is None:
+        dest_a = np.arange(n, dtype=np.int64)
+        arena = AdjacencyArena(n, capacity=graph.num_edges + n + 1)
+        toplevel: list[int] = []
+        edges_scanned = 0
+        merges = 0
+    else:
+        dest_a = resume.dest.copy()
+        child = resume.child.tolist()
+        sibling = resume.sibling.tolist()
+        # Merged vertices carry INVALID_DEGREE (never read again);
+        # roots carry their exact accumulated community degree.
+        comm_deg_a = resume.degrees.copy()
+        # Every restored entry becomes arena-resident; residency only
+        # affects which fold path consumes it, never the fold result.
+        arena = AdjacencyArena.from_pools(
+            resume.adj_offsets,
+            resume.adj_lengths,
+            resume.adj_keys,
+            resume.adj_ws,
+            extra_capacity=graph.num_edges + n + 1,
+        )
+        toplevel = resume.toplevel.tolist()
+        restore_stats(stats, resume)
+        edges_scanned = stats.edges_scanned
+        merges = stats.merges
+        if vw is not None and resume.vertex_work.size:
+            vw = resume.vertex_work.tolist()
+    dest: list[int] = dest_a.tolist()
+    comm_deg: list[float] = comm_deg_a.tolist()
+    indptr_l: list[int] = graph.indptr.tolist()
+    indices, weights = graph.indices, graph.weights
+    aoff: list[int] = arena.offset.tolist()  # arena addressing
+    alen: list[int] = arena.length.tolist()  # folded sizes, both residencies
     ek: list[list | None] = [None] * n
     ew: list[list | None] = [None] * n
-    vw: list[int] | None = [0] * n if collect_vertex_work else None
+    config = {
+        "engine": "fast",
+        "visit": visit,
+        "visit_rng": visit_rng,
+        "collect_vertex_work": collect_vertex_work,
+        "parallel": False,
+    }
     inv_2m = 1.0 / two_m
     neg_inf = float("-inf")
-    toplevel: list[int] = []
-    edges_scanned = 0
-    merges = 0
+    order_l = order.tolist()
     with span("rabbit.seq.aggregate", n=n, engine="fast"):
-        for u in order.tolist():
+        for i in range(start, n):
+            u = order_l[i]
+            heartbeat()
             # Members = u plus direct children; each child's arena slice
             # already covers its whole subtree (folded when it merged).
             members = [u]
@@ -371,15 +447,39 @@ def community_detection_fastseq(
                 vw[u] = total
             if best_v < 0 or best_dq <= merge_threshold:
                 toplevel.append(u)
-                continue
-            # Merge u into best_v; both state views take the write.
-            dest[u] = best_v
-            dest_a[u] = best_v
-            sibling[u] = child[best_v]
-            child[best_v] = u
-            comm_deg[best_v] += d_u
-            comm_deg_a[best_v] += d_u
-            merges += 1
+            else:
+                # Merge u into best_v; both state views take the write.
+                dest[u] = best_v
+                dest_a[u] = best_v
+                sibling[u] = child[best_v]
+                child[best_v] = u
+                comm_deg[best_v] += d_u
+                comm_deg_a[best_v] += d_u
+                merges += 1
+            if ckpt is not None and ckpt.due(i + 1):
+                stats.edges_scanned = edges_scanned
+                stats.merges = merges
+                stats.toplevels = len(toplevel)
+                if vw is not None:
+                    stats.vertex_work = np.array(vw, dtype=np.int64)
+                ckpt.save(
+                    build_snapshot(
+                        engine="fast",
+                        progress=i + 1,
+                        order=order,
+                        dest=dest_a,
+                        child=child,
+                        sibling=sibling,
+                        comm_deg=comm_deg_a,
+                        toplevel=toplevel,
+                        adjacency=_adjacency_entries(
+                            n, ek, ew, aoff, alen, arena
+                        ),
+                        stats=stats,
+                        fingerprint=fingerprint,
+                        config=config,
+                    )
+                )
     if vw is not None:
         stats.vertex_work = np.array(vw, dtype=np.int64)
     stats.edges_scanned = edges_scanned

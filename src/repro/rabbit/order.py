@@ -11,7 +11,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from pathlib import Path
+
 from repro.community.dendrogram import Dendrogram
+from repro.errors import CheckpointError
 from repro.graph.csr import CSRGraph
 from repro.graph.perm import permutation_from_order
 from repro.obs.trace import span
@@ -19,8 +22,37 @@ from repro.parallel.scheduler import ThreadedRunner
 from repro.rabbit.common import RabbitStats
 from repro.rabbit.par import ParallelDetectionResult, community_detection_par
 from repro.rabbit.seq import community_detection_seq
+from repro.resilience.checkpoint import (
+    Snapshot,
+    latest_checkpoint,
+    load_checkpoint,
+)
 
-__all__ = ["RabbitResult", "rabbit_order", "ordering_generation_seq", "ordering_generation_par"]
+__all__ = [
+    "RabbitResult",
+    "rabbit_order",
+    "ordering_generation_seq",
+    "ordering_generation_par",
+    "resolve_resume",
+]
+
+
+def resolve_resume(
+    resume: "Snapshot | str | Path | None",
+) -> Snapshot | None:
+    """Normalise the ``resume=`` argument: an in-memory
+    :class:`~repro.resilience.checkpoint.Snapshot` passes through, a
+    checkpoint *file* path is loaded, and a *directory* resolves to its
+    newest loadable checkpoint."""
+    if resume is None or isinstance(resume, Snapshot):
+        return resume
+    path = Path(resume)
+    if path.is_dir():
+        found = latest_checkpoint(path)
+        if found is None:
+            raise CheckpointError(f"no checkpoints found in {path}")
+        return found[1]
+    return load_checkpoint(path)
 
 
 @dataclass(frozen=True)
@@ -81,6 +113,8 @@ def rabbit_order(
     fault_plan=None,
     audit: bool = False,
     engine: str = "fast",
+    checkpoint=None,
+    resume: "Snapshot | str | Path | None" = None,
 ) -> RabbitResult:
     """Compute the Rabbit Order permutation of *graph*.
 
@@ -108,12 +142,22 @@ def rabbit_order(
     audit:
         when *parallel*, run the post-run dendrogram auditor and raise
         :class:`~repro.errors.AuditError` on any violated invariant.
+    checkpoint:
+        a :class:`~repro.resilience.checkpoint.CheckpointConfig` (or
+        live ``Checkpointer``): snapshot detection state periodically so
+        a killed run can resume.
+    resume:
+        continue detection from a
+        :class:`~repro.resilience.checkpoint.Snapshot`, a checkpoint
+        file path, or a checkpoint directory (newest loadable snapshot
+        wins); see :func:`resolve_resume`.
 
     Returns
     -------
     RabbitResult
         with ``permutation[old_id] = new_id``.
     """
+    resume = resolve_resume(resume)
     if parallel:
         with span("rabbit.detect", parallel=True, n=graph.num_vertices):
             result = community_detection_par(
@@ -124,6 +168,8 @@ def rabbit_order(
                 collect_vertex_work=collect_vertex_work,
                 fault_plan=fault_plan,
                 audit=audit,
+                checkpoint=checkpoint,
+                resume=resume,
             )
         with span("rabbit.ordering", parallel=True):
             perm = ordering_generation_par(result.dendrogram, num_threads)
@@ -139,6 +185,8 @@ def rabbit_order(
             merge_threshold=merge_threshold,
             collect_vertex_work=collect_vertex_work,
             engine=engine,
+            checkpoint=checkpoint,
+            resume=resume,
         )
     with span("rabbit.ordering", parallel=False):
         perm = ordering_generation_seq(dendrogram)

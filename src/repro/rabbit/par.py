@@ -59,6 +59,16 @@ from repro.parallel.faults import (
 from repro.parallel.scheduler import InterleavingScheduler, ThreadedRunner, drive
 from repro.rabbit.audit import AuditReport, audit_dendrogram
 from repro.rabbit.common import AggregationState, RabbitStats, aggregate_vertex
+from repro.rabbit.seq import restore_stats
+from repro.resilience.checkpoint import (
+    Snapshot,
+    as_checkpointer,
+    build_snapshot,
+    graph_fingerprint,
+    require_fingerprint_match,
+)
+from repro.resilience.policy import derive_seed
+from repro.resilience.runtime import heartbeat
 
 __all__ = ["community_detection_par", "ParallelDetectionResult"]
 
@@ -111,6 +121,9 @@ def _worker(
     pending: deque[tuple[int, int]] = deque((int(u), 0) for u in chunk)
     while pending:
         u, attempts = pending.popleft()
+        # First attempts count as supervisor progress; retries do not, so
+        # a CAS-failure livelock storm registers as a stall, not progress.
+        heartbeat(1 if attempts == 0 else 0)
         yield
         degree_u = atoms.swap_degree(u, INVALID_DEGREE)  # invalidate u (line 9)
         yield
@@ -221,6 +234,7 @@ def _recover_from_faults(
     *,
     merge_threshold: float,
     max_attempts: int,
+    eligible: np.ndarray | None = None,
 ) -> RabbitStats:
     """Crash recovery: repair partial writes, then sequentially finish.
 
@@ -239,7 +253,14 @@ def _recover_from_faults(
 
     The residual vertices (orphans: neither merged nor decided top-level,
     including untouched vertices from a dead worker's queue) are then
-    driven through the normal worker logic *sequentially*.  With
+    driven through the normal worker logic *sequentially*.
+
+    *eligible*, if given, restricts the orphan scan to a boolean mask of
+    vertices the run has already admitted — the round-based checkpointed
+    driver recovers after every round, when the unprocessed suffix of the
+    visit order is still legitimately untouched (not orphaned).  Chained
+    vertices are always a subset of admitted ones, so steps 1–2 need no
+    mask.  With
     injection off and every community degree valid, no retry path can
     trigger, so this pass terminates in one sweep — bounded livelock
     degrades to guaranteed termination with a complete dendrogram.
@@ -274,7 +295,10 @@ def _recover_from_faults(
         rec.merges += 1
         rec.partial_repairs += 1
     # 3. Orphans: neither merged, nor in a chain, nor decided top-level.
-    orphans = np.flatnonzero(unmerged & ~chained & ~in_sink)
+    orphan_mask = unmerged & ~chained & ~in_sink
+    if eligible is not None:
+        orphan_mask &= eligible
+    orphans = np.flatnonzero(orphan_mask)
     if orphans.size == 0:
         return rec
     rec.orphans_recovered = int(orphans.size)
@@ -320,6 +344,8 @@ def community_detection_par(
     fault_plan: FaultPlan | None = None,
     audit: bool = False,
     detect_races: bool = False,
+    checkpoint=None,
+    resume: Snapshot | None = None,
 ) -> ParallelDetectionResult:
     """Parallel incremental aggregation (Algorithm 3).
 
@@ -349,9 +375,28 @@ def community_detection_par(
         as ``result.race_report``.  Works under both executors.  The
         hot path is untouched when off (a single predictable ``None``
         test per atomic operation).
+    checkpoint:
+        a :class:`~repro.resilience.checkpoint.CheckpointConfig` or
+        :class:`~repro.resilience.checkpoint.Checkpointer`: run the
+        round-based driver that quiesces the executors every ~``every``
+        decided vertices and snapshots the shared state.  Incompatible
+        with ``detect_races`` (the tracing proxies cannot cross a
+        quiescence boundary).
+    resume:
+        a :class:`~repro.resilience.checkpoint.Snapshot` (from any
+        engine) to restore and continue from.  With the deterministic
+        interleaving executor — or one real thread — the completed run is
+        bit-identical to an uninterrupted run in the same checkpointed
+        mode.
     """
     require_symmetric(graph, "Rabbit Order")
     n = graph.num_vertices
+    if checkpoint is not None or resume is not None:
+        if detect_races:
+            raise ValueError(
+                "detect_races cannot be combined with checkpoint/resume: "
+                "the race log cannot span a quiescence boundary"
+            )
     if graph.total_edge_weight() <= 0.0:
         stats = RabbitStats(toplevels=n)
         dendrogram = Dendrogram(
@@ -371,6 +416,20 @@ def community_detection_par(
             num_workers=0,
             worker_work=np.zeros(0, dtype=np.int64),
             audit_report=audit_report,
+        )
+    if checkpoint is not None or resume is not None:
+        return _detect_par_checkpointed(
+            graph,
+            num_threads=num_threads,
+            scheduler_seed=scheduler_seed,
+            chunk_size=chunk_size,
+            merge_threshold=merge_threshold,
+            max_attempts=max_attempts,
+            collect_vertex_work=collect_vertex_work,
+            fault_plan=fault_plan,
+            audit=audit,
+            checkpointer=as_checkpointer(checkpoint),
+            resume=resume,
         )
     with span("rabbit.par.setup", n=n):
         state = AggregationState.initialize(graph)
@@ -526,4 +585,240 @@ def community_detection_par(
         fault_counters=None if injector is None else injector.counters,
         audit_report=audit_report,
         race_report=race_report,
+    )
+
+
+def _detect_par_checkpointed(
+    graph: CSRGraph,
+    *,
+    num_threads: int,
+    scheduler_seed: int | None,
+    chunk_size: int | None,
+    merge_threshold: float,
+    max_attempts: int,
+    collect_vertex_work: bool,
+    fault_plan: FaultPlan | None,
+    audit: bool,
+    checkpointer,
+    resume: Snapshot | None,
+) -> ParallelDetectionResult:
+    """Round-based parallel detection with checkpoint/resume.
+
+    The executors cannot be snapshotted mid-flight (generator frames and
+    OS threads are not serialisable), so the checkpointed driver runs the
+    chunk list in *rounds* of ``ceil(every / chunk_size)`` chunks and
+    snapshots at each round boundary, when every worker has quiesced and
+    the shared state is exactly the engine-agnostic aggregation state.
+
+    Determinism across a kill/resume: the interleaving scheduler and the
+    fault injector are reseeded at every round boundary with
+    ``derive_seed(base_seed, chunks_done)``, so the schedule of round *k*
+    depends only on the boundary position — a resumed run replays the
+    exact rounds the uninterrupted run would have executed.  (Real
+    threads are nondeterministic beyond one thread; resumed runs there
+    are valid and auditable rather than bit-identical.)
+
+    Under fault injection, crash recovery runs after *every* round (with
+    the orphan scan masked to admitted vertices), so each snapshot is a
+    fully repaired state — a checkpoint never stores a dead worker's
+    partial writes.
+    """
+    n = graph.num_vertices
+    fingerprint = graph_fingerprint(graph, merge_threshold=merge_threshold)
+    with span("rabbit.par.setup", n=n):
+        state = AggregationState.initialize(graph)
+        counter = OpCounter()
+        base_degrees = newman_degrees(graph)
+        injector = None if fault_plan is None else FaultInjector(fault_plan)
+        if injector is None:
+            atoms = AtomicPairArray(base_degrees, counter)
+        else:
+            atoms = FaultyAtomicPairArray(base_degrees, injector, counter)
+        agg = RabbitStats()
+        if collect_vertex_work:
+            agg.vertex_work = np.zeros(n, dtype=np.int64)
+        toplevel_acc: list[int] = []
+        chunk_edges: list[int] = []
+        start = 0
+        if resume is None:
+            order = np.argsort(graph.degrees(), kind="stable")
+        else:
+            require_fingerprint_match(resume, fingerprint)
+            start = resume.progress
+            order = resume.order.copy()
+            state.dest[:] = resume.dest
+            state.sibling[:] = resume.sibling
+            # Bulk pre-run restore writes straight through the views
+            # (merged vertices legitimately carry INVALID_DEGREE, which
+            # the constructor would reject).
+            atoms.degrees_view()[:] = resume.degrees
+            atoms.children_view()[:] = resume.child
+            for v, entry in enumerate(resume.iter_adjacency()):
+                if entry is not None:
+                    keys, ws = entry
+                    state.adj[v] = dict(zip(keys.tolist(), ws.tolist()))
+            toplevel_acc = resume.toplevel.tolist()
+            chunk_edges = resume.chunk_edges.tolist()
+            restore_stats(agg, resume)
+            if injector is not None:
+                # Fault caps (max_crashes/max_stalls) are cumulative
+                # across the whole logical run, not per process.
+                for name, value in resume.fault_counters.items():
+                    setattr(injector.counters, name, value)
+        # Aggregation must see children the instant their CAS lands (see
+        # community_detection_par): alias the child links to the atomics.
+        state.child = atoms.children_view()
+        if chunk_size is None:
+            stored = None if resume is None else resume.config.get("chunk_size")
+            chunk_size = (
+                int(stored)
+                if stored
+                else max(1, min(32, -(-n // max(1, 8 * num_threads))))
+            )
+        rem_chunks = [
+            order[i : i + chunk_size] for i in range(start, n, chunk_size)
+        ]
+        chunks_done = start // chunk_size
+        every = (
+            checkpointer.every
+            if checkpointer is not None
+            else int(resume.config.get("checkpoint_every", chunk_size))
+        )
+        round_chunks = max(1, -(-every // chunk_size))
+        config = {
+            "engine": "par",
+            "executor": "interleave" if scheduler_seed is not None else "threads",
+            "num_threads": int(num_threads),
+            "scheduler_seed": scheduler_seed,
+            "chunk_size": int(chunk_size),
+            "checkpoint_every": int(every),
+            "merge_threshold": float(merge_threshold),
+            "max_attempts": int(max_attempts),
+            "collect_vertex_work": bool(collect_vertex_work),
+            "parallel": True,
+        }
+
+    pos = start
+    with span(
+        "rabbit.par.aggregate",
+        n=n,
+        workers=len(rem_chunks),
+        threads=num_threads,
+        deterministic=scheduler_seed is not None,
+    ):
+        next_round = 0
+        while next_round < len(rem_chunks):
+            round_slice = rem_chunks[next_round : next_round + round_chunks]
+            round_stats = [RabbitStats() for _ in round_slice]
+            if collect_vertex_work:
+                for s in round_stats:
+                    s.vertex_work = np.zeros(n, dtype=np.int64)
+            round_sinks: list[list[int]] = [[] for _ in round_slice]
+            tasks = [
+                _worker(
+                    state,
+                    atoms,
+                    chunk_arr,
+                    round_sinks[j],
+                    round_stats[j],
+                    merge_threshold=merge_threshold,
+                    max_attempts=max_attempts,
+                )
+                for j, chunk_arr in enumerate(round_slice)
+            ]
+            if injector is not None:
+                injector.reseed(derive_seed(fault_plan.seed, chunks_done))
+                injector.enable()
+            if scheduler_seed is not None:
+                InterleavingScheduler(
+                    seed=derive_seed(scheduler_seed, chunks_done),
+                    faults=injector,
+                ).run(tasks, window=num_threads)
+            else:
+                ThreadedRunner(num_threads, faults=injector).run(tasks)
+            next_round += len(round_slice)
+            chunks_done += len(round_slice)
+            pos = min(pos + sum(int(c.size) for c in round_slice), n)
+            rec = None
+            new_sinks: list[list[int]] = round_sinks
+            if injector is not None:
+                injector.disable()
+                eligible = np.zeros(n, dtype=bool)
+                eligible[order[:pos]] = True
+                sinks = [toplevel_acc] + round_sinks
+                with span("rabbit.par.recover", n=n):
+                    rec = _recover_from_faults(
+                        state,
+                        atoms,
+                        base_degrees,
+                        sinks,
+                        merge_threshold=merge_threshold,
+                        max_attempts=max_attempts,
+                        eligible=eligible,
+                    )
+                new_sinks = sinks[1:]
+            for s in round_stats:
+                agg.merge_from(s)
+                chunk_edges.append(int(s.edges_scanned))
+                if collect_vertex_work and s.vertex_work is not None:
+                    agg.vertex_work += s.vertex_work
+            if rec is not None:
+                agg.merge_from(rec)
+            for sink in new_sinks:
+                toplevel_acc.extend(sink)
+            if checkpointer is not None:
+                checkpointer.save(
+                    build_snapshot(
+                        engine="par",
+                        progress=pos,
+                        order=order,
+                        dest=state.dest,
+                        child=atoms.children_view(),
+                        sibling=state.sibling,
+                        comm_deg=atoms.degrees_view(),
+                        toplevel=toplevel_acc,
+                        adjacency=(
+                            None
+                            if d is None
+                            else (list(d.keys()), list(d.values()))
+                            for d in state.adj
+                        ),
+                        stats=agg,
+                        fingerprint=fingerprint,
+                        config=config,
+                        chunk_edges=chunk_edges,
+                        fault_counters=(
+                            None
+                            if injector is None
+                            else injector.counters.snapshot()
+                        ),
+                    )
+                )
+
+    toplevel = np.array(toplevel_acc, dtype=np.int64)
+    dendrogram = Dendrogram(
+        child=atoms.children_view().copy(),
+        sibling=state.sibling.copy(),
+        toplevel=toplevel,
+    )
+    registry = get_registry()
+    registry.absorb_rabbit_stats(agg)
+    registry.absorb_op_counter(counter.snapshot())
+    if injector is not None:
+        registry.absorb_fault_counters(injector.counters)
+    audit_report = None
+    if audit:
+        with span("rabbit.par.audit", n=n):
+            audit_report = audit_dendrogram(
+                graph, dendrogram, stats=agg, degrees=atoms.degrees_view()
+            )
+        audit_report.raise_if_failed()
+    return ParallelDetectionResult(
+        dendrogram=dendrogram,
+        stats=agg,
+        op_counter=counter,
+        num_workers=len(chunk_edges),
+        worker_work=np.array(chunk_edges, dtype=np.int64),
+        fault_counters=None if injector is None else injector.counters,
+        audit_report=audit_report,
     )

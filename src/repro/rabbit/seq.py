@@ -4,6 +4,14 @@ Vertices are processed in increasing order of (initial) degree — the
 paper's cost-reducing heuristic — and each is merged into the neighbour
 maximising the modularity gain ΔQ (Equation 1) when that gain is positive;
 otherwise it becomes a top-level vertex (a dendrogram root).
+
+Checkpoint/resume: with ``checkpoint=``, the sweep snapshots its full
+aggregation state every ``every`` decided vertices through
+:mod:`repro.resilience.checkpoint`; with ``resume=``, it restores a
+snapshot and continues — completing to a dendrogram (and permutation)
+bit-identical to the uninterrupted run, because the snapshot preserves
+the visit order, every folded adjacency in first-encounter order, and
+the exact community degrees (see docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
@@ -17,8 +25,41 @@ from repro.graph.validate import require_symmetric
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.rabbit.common import AggregationState, RabbitStats, aggregate_vertex
+from repro.resilience.checkpoint import (
+    Snapshot,
+    as_checkpointer,
+    build_snapshot,
+    graph_fingerprint,
+    require_fingerprint_match,
+)
+from repro.resilience.runtime import heartbeat
 
-__all__ = ["community_detection_seq"]
+__all__ = ["community_detection_seq", "visit_order", "restore_stats"]
+
+
+def visit_order(
+    graph: CSRGraph, visit: str, visit_rng: int | None
+) -> np.ndarray:
+    """The sweep's vertex visit order (shared by both sequential engines)."""
+    n = graph.num_vertices
+    if visit == "degree":
+        return np.argsort(graph.degrees(), kind="stable")
+    if visit == "identity":
+        return np.arange(n, dtype=np.int64)
+    if visit == "random":
+        return np.random.default_rng(visit_rng).permutation(n).astype(np.int64)
+    raise ValueError(
+        f"visit must be 'degree', 'identity' or 'random', got {visit!r}"
+    )
+
+
+def restore_stats(stats: RabbitStats, snapshot: Snapshot) -> None:
+    """Carry a snapshot's counters into a fresh :class:`RabbitStats`
+    (cross-engine resume keeps e.g. a parallel prefix's retry counts)."""
+    for name, value in snapshot.stats_dict().items():
+        setattr(stats, name, value)
+    if stats.vertex_work is not None and snapshot.vertex_work.size:
+        stats.vertex_work[:] = snapshot.vertex_work
 
 
 def community_detection_seq(
@@ -29,6 +70,8 @@ def community_detection_seq(
     visit: str = "degree",
     visit_rng: int | None = 0,
     engine: str = "fast",
+    checkpoint=None,
+    resume: Snapshot | None = None,
 ) -> tuple[Dendrogram, RabbitStats]:
     """Extract hierarchical communities by incremental aggregation.
 
@@ -52,6 +95,14 @@ def community_detection_seq(
         per-edge dict implementation below.  Both produce bit-identical
         dendrograms and stats — the dict engine is kept as the readable
         oracle the equivalence suite checks the fast engine against.
+    checkpoint:
+        a :class:`~repro.resilience.checkpoint.CheckpointConfig` or
+        :class:`~repro.resilience.checkpoint.Checkpointer`: snapshot the
+        aggregation state every ``every`` decided vertices.
+    resume:
+        a :class:`~repro.resilience.checkpoint.Snapshot` to restore and
+        continue from (its fingerprint must match this graph and
+        parameterisation; checkpoints from *any* engine are accepted).
 
     Returns
     -------
@@ -66,10 +117,13 @@ def community_detection_seq(
             merge_threshold=merge_threshold,
             visit=visit,
             visit_rng=visit_rng,
+            checkpoint=checkpoint,
+            resume=resume,
         )
     if engine != "dict":
         raise ValueError(f"engine must be 'fast' or 'dict', got {engine!r}")
     require_symmetric(graph, "Rabbit Order")
+    ckpt = as_checkpointer(checkpoint)
     n = graph.num_vertices
     with span("rabbit.seq.setup", n=n):
         state = AggregationState.initialize(graph)
@@ -92,24 +146,44 @@ def community_detection_seq(
         )
 
     two_m = 2.0 * m
-    if visit == "degree":
-        order = np.argsort(graph.degrees(), kind="stable")
-    elif visit == "identity":
-        order = np.arange(n, dtype=np.int64)
-    elif visit == "random":
-        order = np.random.default_rng(visit_rng).permutation(n).astype(np.int64)
+    fingerprint = graph_fingerprint(
+        graph, merge_threshold=merge_threshold, visit=visit, visit_rng=visit_rng
+    )
+    start = 0
+    if resume is None:
+        order = visit_order(graph, visit, visit_rng)
     else:
-        raise ValueError(
-            f"visit must be 'degree', 'identity' or 'random', got {visit!r}"
-        )
+        require_fingerprint_match(resume, fingerprint)
+        start = resume.progress
+        order = resume.order.copy()
+        state.dest[:] = resume.dest
+        state.child[:] = resume.child
+        state.sibling[:] = resume.sibling
+        # Merged vertices carry INVALID_DEGREE (never read again); roots
+        # carry their exact accumulated community degree.
+        comm_deg = resume.degrees.copy()
+        for v, entry in enumerate(resume.iter_adjacency()):
+            if entry is not None:
+                keys, ws = entry
+                state.adj[v] = dict(zip(keys.tolist(), ws.tolist()))
+        toplevel = resume.toplevel.tolist()
+        restore_stats(stats, resume)
+    config = {
+        "engine": "dict",
+        "visit": visit,
+        "visit_rng": visit_rng,
+        "collect_vertex_work": collect_vertex_work,
+        "parallel": False,
+    }
     dest = state.dest
     child = state.child
     sibling = state.sibling
     # One span brackets the whole aggregation sweep (never per vertex:
     # the disabled-tracer hot path must stay free).
     with span("rabbit.seq.aggregate", n=n):
-        for u_np in order:
-            u = int(u_np)
+        for i in range(start, n):
+            u = int(order[i])
+            heartbeat()
             neighbors = aggregate_vertex(state, u, stats)
             best_v = -1
             best_dq = -np.inf
@@ -127,14 +201,35 @@ def community_detection_seq(
             if best_v < 0 or best_dq <= merge_threshold:
                 toplevel.append(u)
                 stats.toplevels += 1
-                continue
-            # Merge u into best_v: register u as a community member (lazy
-            # aggregation defers the edge rewrite to when best_v is processed).
-            dest[u] = best_v
-            sibling[u] = child[best_v]
-            child[best_v] = u
-            comm_deg[best_v] += d_u
-            stats.merges += 1
+            else:
+                # Merge u into best_v: register u as a community member (lazy
+                # aggregation defers the edge rewrite to when best_v is
+                # processed).
+                dest[u] = best_v
+                sibling[u] = child[best_v]
+                child[best_v] = u
+                comm_deg[best_v] += d_u
+                stats.merges += 1
+            if ckpt is not None and ckpt.due(i + 1):
+                ckpt.save(
+                    build_snapshot(
+                        engine="dict",
+                        progress=i + 1,
+                        order=order,
+                        dest=dest,
+                        child=child,
+                        sibling=sibling,
+                        comm_deg=comm_deg,
+                        toplevel=toplevel,
+                        adjacency=(
+                            None if d is None else (list(d.keys()), list(d.values()))
+                            for d in state.adj
+                        ),
+                        stats=stats,
+                        fingerprint=fingerprint,
+                        config=config,
+                    )
+                )
     get_registry().absorb_rabbit_stats(stats)
     return (
         Dendrogram(

@@ -1,0 +1,539 @@
+"""Checkpoint/resume for incremental aggregation.
+
+One engine-agnostic snapshot schema covers all three detection engines
+(dict, fastseq, parallel), which is what makes the supervisor's
+degradation ladder possible: a run interrupted on one rung can resume on
+any other, because everything an engine needs to continue is the shared
+aggregation state, not engine internals:
+
+* ``order``      — the full visit order (frozen at run start, so the
+  RNG used by ``visit="random"`` never has to be re-wound);
+* ``progress``   — how many vertices of ``order`` are decided;
+* ``dest`` / ``child`` / ``sibling`` — the union-find and dendrogram
+  links (path-compression state is irrelevant: only roots decide);
+* ``degrees``    — community degrees, with merged vertices normalised to
+  ``INVALID_DEGREE`` (the parallel engine's convention; the sequential
+  engines never read a non-root degree, so the normalisation is free);
+* ``toplevel``   — the decided top-level prefix, in final output order;
+* the folded adjacency of every processed vertex, flattened into
+  ``(offsets, lengths, keys, ws)`` pools.  First-encounter key order is
+  preserved, so rebuilding dict entries or arena slices reproduces the
+  exact accumulation and tie-break order — resume is bit-identical.
+
+File format
+-----------
+A fixed binary header followed by an ``npz`` payload::
+
+    magic "RBO-CKPT" | schema_version u32 | payload_crc32 u32
+    | payload_len u64 | payload (npz bytes, meta as JSON inside)
+
+Files are written via :func:`repro.ioutil.atomic_write_bytes` (tmp +
+fsync + rename), so a crash mid-write can never tear a checkpoint; a
+torn, truncated, or bit-flipped file fails the magic/length/CRC checks
+and is rejected with :class:`~repro.errors.CheckpointError`.  Stale
+files — written for a different graph or detection parameterisation —
+are rejected by the fingerprint check before any state is trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from io import BytesIO
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.ioutil import atomic_write_bytes
+from repro.parallel.atomics import INVALID_DEGREE
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CheckpointConfig",
+    "Checkpointer",
+    "Snapshot",
+    "graph_fingerprint",
+    "require_fingerprint_match",
+    "save_checkpoint",
+    "load_checkpoint",
+    "latest_checkpoint",
+    "pack_adjacency",
+    "build_snapshot",
+    "as_checkpointer",
+]
+
+#: Bumped on any incompatible change to the snapshot schema.
+SCHEMA_VERSION = 1
+
+_MAGIC = b"RBO-CKPT"
+_HEADER = struct.Struct("<8sIIQ")
+
+#: Array fields of a :class:`Snapshot`, in serialisation order.
+_ARRAY_FIELDS = (
+    ("order", np.int64),
+    ("dest", np.int64),
+    ("child", np.int64),
+    ("sibling", np.int64),
+    ("degrees", np.float64),
+    ("toplevel", np.int64),
+    ("adj_offsets", np.int64),
+    ("adj_lengths", np.int64),
+    ("adj_keys", np.int64),
+    ("adj_ws", np.float64),
+    ("chunk_edges", np.int64),
+    ("vertex_work", np.int64),
+)
+
+#: ``RabbitStats`` fields carried through a checkpoint.
+STAT_FIELDS = (
+    "edges_scanned",
+    "merges",
+    "toplevels",
+    "retries",
+    "orphans_recovered",
+    "partial_repairs",
+    "fallback_merges",
+    "fallback_toplevels",
+)
+
+
+@dataclass
+class Snapshot:
+    """One consistent aggregation state, engine-agnostic.
+
+    ``adj_lengths[v] == -1`` marks a vertex that has never been folded
+    (the dict engine's ``adj[v] is None``); otherwise vertex *v*'s folded
+    entry is ``adj_keys[off:off+len]`` / ``adj_ws[off:off+len]`` with the
+    self-loop key last, exactly the convention every engine uses.
+    ``meta`` carries the scalars: ``engine``, ``progress``, the stats
+    counters, the graph fingerprint, and the engine configuration needed
+    by ``repro resume`` to relaunch without re-specifying flags.
+    """
+
+    order: np.ndarray
+    dest: np.ndarray
+    child: np.ndarray
+    sibling: np.ndarray
+    degrees: np.ndarray
+    toplevel: np.ndarray
+    adj_offsets: np.ndarray
+    adj_lengths: np.ndarray
+    adj_keys: np.ndarray
+    adj_ws: np.ndarray
+    meta: dict[str, Any]
+    #: parallel engine only: per-completed-chunk edges_scanned
+    chunk_edges: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    #: only when the run collects per-vertex work
+    vertex_work: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+
+    @property
+    def progress(self) -> int:
+        return int(self.meta["progress"])
+
+    @property
+    def engine(self) -> str:
+        return str(self.meta["engine"])
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.dest.size)
+
+    @property
+    def config(self) -> dict[str, Any]:
+        """Engine configuration recorded at save time (``repro resume``
+        uses it to relaunch without re-specifying flags)."""
+        return dict(self.meta.get("config", {}))
+
+    @property
+    def fault_counters(self) -> dict[str, int]:
+        """Fault tallies at save time (empty when injection was off)."""
+        return {
+            k: int(v) for k, v in self.meta.get("fault_counters", {}).items()
+        }
+
+    def stats_dict(self) -> dict[str, int]:
+        return {k: int(v) for k, v in self.meta.get("stats", {}).items()}
+
+    def iter_adjacency(self) -> Iterator[tuple[np.ndarray, np.ndarray] | None]:
+        """Per-vertex folded ``(keys, ws)`` views (``None`` = never folded)."""
+        offsets, lengths = self.adj_offsets, self.adj_lengths
+        keys, ws = self.adj_keys, self.adj_ws
+        for v in range(self.dest.size):
+            ln = int(lengths[v])
+            if ln < 0:
+                yield None
+            else:
+                off = int(offsets[v])
+                yield keys[off : off + ln], ws[off : off + ln]
+
+    def validate(self) -> None:
+        """Internal-consistency checks beyond the CRC (cheap, O(n))."""
+        n = self.dest.size
+        for name in ("child", "sibling", "degrees", "adj_offsets", "adj_lengths"):
+            if getattr(self, name).size != n:
+                raise CheckpointError(
+                    f"snapshot array {name!r} has {getattr(self, name).size} "
+                    f"entries, expected {n}"
+                )
+        if self.order.size != n:
+            raise CheckpointError(
+                f"snapshot visit order has {self.order.size} entries, expected {n}"
+            )
+        if not 0 <= self.progress <= n:
+            raise CheckpointError(
+                f"snapshot progress {self.progress} out of range [0, {n}]"
+            )
+        stored = self.adj_lengths >= 0
+        if stored.any():
+            ends = self.adj_offsets[stored] + self.adj_lengths[stored]
+            if int(ends.max(initial=0)) > self.adj_keys.size or (
+                self.adj_offsets[stored] < 0
+            ).any():
+                raise CheckpointError(
+                    "snapshot adjacency slices fall outside the key pool"
+                )
+        if self.adj_keys.size != self.adj_ws.size:
+            raise CheckpointError("snapshot adjacency key/weight pools differ")
+
+
+def pack_adjacency(
+    entries: Iterable[tuple[Any, Any] | None],
+    num_vertices: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten per-vertex ``(keys, ws)`` sequences into the pool arrays.
+
+    *entries* yields, per vertex, either ``None`` (never folded) or a
+    ``(keys, ws)`` pair of equal-length sequences in first-encounter
+    order (self-loop key last).  Returns
+    ``(offsets, lengths, keys_pool, ws_pool)``.
+    """
+    offsets = np.zeros(num_vertices, dtype=np.int64)
+    lengths = np.full(num_vertices, -1, dtype=np.int64)
+    key_parts: list[np.ndarray] = []
+    ws_parts: list[np.ndarray] = []
+    cursor = 0
+    for v, entry in enumerate(entries):
+        if entry is None:
+            continue
+        keys, ws = entry
+        keys = np.asarray(keys, dtype=np.int64)
+        ws = np.asarray(ws, dtype=np.float64)
+        offsets[v] = cursor
+        lengths[v] = keys.size
+        cursor += keys.size
+        key_parts.append(keys)
+        ws_parts.append(ws)
+    keys_pool = (
+        np.concatenate(key_parts) if key_parts else np.zeros(0, dtype=np.int64)
+    )
+    ws_pool = (
+        np.concatenate(ws_parts) if ws_parts else np.zeros(0, dtype=np.float64)
+    )
+    return offsets, lengths, keys_pool, ws_pool
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting: reject checkpoints from a different run configuration.
+
+
+def graph_fingerprint(
+    graph,
+    *,
+    merge_threshold: float = 0.0,
+    visit: str = "degree",
+    visit_rng: int | None = 0,
+) -> dict[str, Any]:
+    """Identity of the detection *problem* (not the engine solving it).
+
+    Engines may change across a resume (that is the degradation ladder's
+    whole point); the graph and the decision parameters may not — a
+    checkpoint for a different graph or threshold must be rejected as
+    stale rather than silently producing a plausible-looking hybrid.
+    """
+    crc = zlib.crc32(np.ascontiguousarray(graph.indptr).tobytes())
+    crc = zlib.crc32(np.ascontiguousarray(graph.indices).tobytes(), crc)
+    if graph.weights is not None:
+        crc = zlib.crc32(np.ascontiguousarray(graph.weights).tobytes(), crc)
+    return {
+        "n": int(graph.num_vertices),
+        "edges": int(graph.num_edges),
+        "graph_crc32": int(crc),
+        "merge_threshold": float(merge_threshold),
+        "visit": str(visit),
+        "visit_rng": None if visit_rng is None else int(visit_rng),
+    }
+
+
+def require_fingerprint_match(
+    snapshot: Snapshot, fingerprint: dict[str, Any], *, source: str = "checkpoint"
+) -> None:
+    stored = snapshot.meta.get("fingerprint", {})
+    for key, expected in fingerprint.items():
+        got = stored.get(key)
+        if got != expected:
+            raise CheckpointError(
+                f"{source} is stale: fingerprint field {key!r} is {got!r}, "
+                f"current run has {expected!r}"
+            )
+
+
+def build_snapshot(
+    *,
+    engine: str,
+    progress: int,
+    order: np.ndarray,
+    dest: np.ndarray,
+    child: np.ndarray,
+    sibling: np.ndarray,
+    comm_deg: np.ndarray,
+    toplevel: Iterable[int],
+    adjacency: Iterable[tuple[Any, Any] | None],
+    stats: Any,
+    fingerprint: dict[str, Any],
+    config: dict[str, Any],
+    chunk_edges: Iterable[int] = (),
+    fault_counters: dict[str, int] | None = None,
+) -> Snapshot:
+    """Assemble the engine-agnostic :class:`Snapshot` from live state.
+
+    Community degrees of *merged* vertices are normalised to
+    ``INVALID_DEGREE`` regardless of source engine: the parallel engine
+    already stores that sentinel, while the sequential engines leave a
+    stale pre-merge value behind — which no engine ever reads again, so
+    the normalisation is free and makes every checkpoint restorable into
+    the :class:`~repro.parallel.atomics.AtomicPairArray` convention.
+    """
+    dest = np.ascontiguousarray(dest, dtype=np.int64)
+    n = dest.size
+    merged = dest != np.arange(n, dtype=np.int64)
+    degrees = np.asarray(comm_deg, dtype=np.float64).copy()
+    degrees[merged] = INVALID_DEGREE
+    adj_offsets, adj_lengths, adj_keys, adj_ws = pack_adjacency(adjacency, n)
+    meta: dict[str, Any] = {
+        "engine": engine,
+        "progress": int(progress),
+        "stats": {k: int(getattr(stats, k)) for k in STAT_FIELDS},
+        "fingerprint": dict(fingerprint),
+        "config": dict(config),
+    }
+    if fault_counters is not None:
+        meta["fault_counters"] = {k: int(v) for k, v in fault_counters.items()}
+    vertex_work = (
+        np.ascontiguousarray(stats.vertex_work, dtype=np.int64)
+        if getattr(stats, "vertex_work", None) is not None
+        else np.zeros(0, dtype=np.int64)
+    )
+    return Snapshot(
+        order=np.ascontiguousarray(order, dtype=np.int64),
+        dest=dest,
+        child=np.ascontiguousarray(child, dtype=np.int64),
+        sibling=np.ascontiguousarray(sibling, dtype=np.int64),
+        degrees=degrees,
+        toplevel=np.asarray(list(toplevel), dtype=np.int64),
+        adj_offsets=adj_offsets,
+        adj_lengths=adj_lengths,
+        adj_keys=adj_keys,
+        adj_ws=adj_ws,
+        chunk_edges=np.asarray(list(chunk_edges), dtype=np.int64),
+        vertex_work=vertex_work,
+        meta=meta,
+    )
+
+
+# ---------------------------------------------------------------------------
+# On-disk format.
+
+
+def save_checkpoint(path: str | Path, snapshot: Snapshot) -> Path:
+    """Serialise *snapshot* and install it atomically at *path*."""
+    snapshot.validate()
+    buf = BytesIO()
+    arrays = {
+        name: np.ascontiguousarray(getattr(snapshot, name), dtype=dtype)
+        for name, dtype in _ARRAY_FIELDS
+    }
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(snapshot.meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(buf, **arrays)
+    payload = buf.getvalue()
+    header = _HEADER.pack(
+        _MAGIC, SCHEMA_VERSION, zlib.crc32(payload), len(payload)
+    )
+    dest = Path(path)
+    atomic_write_bytes(dest, header + payload)
+    return dest
+
+
+def load_checkpoint(path: str | Path) -> Snapshot:
+    """Read and verify a checkpoint; any damage raises
+    :class:`~repro.errors.CheckpointError`."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if len(raw) < _HEADER.size:
+        raise CheckpointError(
+            f"{path}: truncated checkpoint ({len(raw)} bytes, header needs "
+            f"{_HEADER.size})"
+        )
+    magic, version, crc, length = _HEADER.unpack_from(raw)
+    if magic != _MAGIC:
+        raise CheckpointError(f"{path}: not a repro checkpoint (bad magic)")
+    if version != SCHEMA_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint schema version {version} "
+            f"(this build reads {SCHEMA_VERSION})"
+        )
+    payload = raw[_HEADER.size :]
+    if len(payload) != length:
+        raise CheckpointError(
+            f"{path}: truncated checkpoint payload ({len(payload)} of "
+            f"{length} bytes)"
+        )
+    if zlib.crc32(payload) != crc:
+        raise CheckpointError(f"{path}: checkpoint payload fails its CRC32")
+    try:
+        with np.load(BytesIO(payload), allow_pickle=False) as data:
+            meta = json.loads(bytes(data["meta_json"]).decode("utf-8"))
+            kwargs = {
+                name: np.asarray(data[name], dtype=dtype)
+                for name, dtype in _ARRAY_FIELDS
+            }
+    except (KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"{path}: malformed checkpoint payload: {exc}"
+        ) from exc
+    snapshot = Snapshot(meta=meta, **kwargs)
+    try:
+        snapshot.validate()
+    except CheckpointError as exc:
+        raise CheckpointError(f"{path}: {exc}") from exc
+    return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Directory management.
+
+_CKPT_GLOB = "ckpt-*.rbk"
+
+
+def _checkpoint_path(directory: Path, progress: int) -> Path:
+    return directory / f"ckpt-{progress:012d}.rbk"
+
+
+def latest_checkpoint(directory: str | Path) -> tuple[Path, Snapshot] | None:
+    """Newest loadable checkpoint in *directory* (highest progress wins).
+
+    Corrupt or truncated files are skipped — a crash during the *write*
+    of checkpoint k must fall back to checkpoint k-1, not kill the
+    resume.  Returns ``None`` for an empty/missing directory; raises
+    :class:`~repro.errors.CheckpointError` if checkpoint files exist but
+    none is loadable.
+    """
+    directory = Path(directory)
+    candidates = sorted(directory.glob(_CKPT_GLOB), reverse=True)
+    if not candidates:
+        return None
+    failures: list[str] = []
+    for path in candidates:
+        try:
+            return path, load_checkpoint(path)
+        except CheckpointError as exc:
+            failures.append(str(exc))
+    raise CheckpointError(
+        f"no loadable checkpoint in {directory}: " + "; ".join(failures)
+    )
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Where and how often to snapshot.
+
+    ``every`` counts *decided vertices* between snapshots; the parallel
+    engine rounds it up to whole scheduling chunks (its natural
+    quiescence boundary).  ``keep`` retains the newest snapshots so a
+    checkpoint torn by a crash still leaves an older complete one.
+    """
+
+    directory: str | Path
+    every: int = 1024
+    keep: int = 3
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise CheckpointError(
+                f"checkpoint every must be >= 1 vertex, got {self.every}"
+            )
+        if self.keep < 1:
+            raise CheckpointError(
+                f"checkpoint keep must be >= 1 file, got {self.keep}"
+            )
+
+
+class Checkpointer:
+    """Runtime side of a :class:`CheckpointConfig`: writes, prunes, hooks.
+
+    ``on_save`` (if given) runs after each snapshot lands with
+    ``(progress, path)`` — the chaos harness uses it to SIGKILL the
+    process at a precise, replayable point.
+    """
+
+    def __init__(
+        self,
+        config: CheckpointConfig,
+        *,
+        on_save: Callable[[int, Path], None] | None = None,
+    ):
+        self.config = config
+        self.directory = Path(config.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.on_save = on_save
+        #: paths written by this checkpointer, oldest first
+        self.saved: list[Path] = []
+
+    @property
+    def every(self) -> int:
+        return self.config.every
+
+    def due(self, progress: int) -> bool:
+        """Whether a sequential engine should snapshot after *progress*
+        decided vertices."""
+        return progress > 0 and progress % self.config.every == 0
+
+    def save(self, snapshot: Snapshot) -> Path:
+        path = save_checkpoint(
+            _checkpoint_path(self.directory, snapshot.progress), snapshot
+        )
+        if path not in self.saved:
+            self.saved.append(path)
+        self._prune()
+        if self.on_save is not None:
+            self.on_save(snapshot.progress, path)
+        return path
+
+    def _prune(self) -> None:
+        existing = sorted(self.directory.glob(_CKPT_GLOB))
+        excess = max(0, len(existing) - self.config.keep)
+        for path in existing[:excess]:
+            path.unlink(missing_ok=True)
+            if path in self.saved:
+                self.saved.remove(path)
+
+
+def as_checkpointer(
+    checkpoint: "CheckpointConfig | Checkpointer | None",
+) -> Checkpointer | None:
+    """Normalise the ``checkpoint=`` argument engines accept."""
+    if checkpoint is None or isinstance(checkpoint, Checkpointer):
+        return checkpoint
+    return Checkpointer(checkpoint)

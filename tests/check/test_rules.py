@@ -287,3 +287,55 @@ class TestImportCycle:
         (pkg / "alpha.py").write_text("from repro.order.beta import thing\n")
         (pkg / "beta.py").write_text("from repro.order.alpha import other\n")
         assert len(run_check([tmp_path], rules=[self.RULE]).findings) == 1
+
+
+class TestBareOpenWrite:
+    RULE = "bare-open-write"
+
+    def test_flags_positional_write_mode(self, tmp_path):
+        src = 'with open("out.txt", "w") as fh:\n    fh.write("x")\n'
+        found = findings(tmp_path, src, self.RULE)
+        assert len(found) == 1
+        assert "atomic" in found[0].message
+        assert "'w'" in found[0].message
+
+    def test_flags_mode_keyword_and_append_and_exclusive(self, tmp_path):
+        src = (
+            'a = open("a.bin", mode="wb")\n'
+            'b = open("b.log", "a")\n'
+            'c = open("c.json", "x")\n'
+        )
+        assert len(findings(tmp_path, src, self.RULE)) == 3
+
+    def test_flags_io_open_via_import(self, tmp_path):
+        src = 'import io\nfh = io.open("out.txt", "w")\n'
+        assert len(findings(tmp_path, src, self.RULE)) == 1
+
+    def test_clean_on_reads(self, tmp_path):
+        src = (
+            'a = open("in.txt")\n'
+            'b = open("in.txt", "r")\n'
+            'c = open("in.bin", "rb")\n'
+        )
+        assert findings(tmp_path, src, self.RULE) == []
+
+    def test_clean_on_variable_mode(self, tmp_path):
+        # a non-literal mode is invisible to the AST; the rule must not guess
+        src = 'def f(p, mode):\n    return open(p, mode)\n'
+        assert findings(tmp_path, src, self.RULE) == []
+
+    def test_clean_on_shadowed_open(self, tmp_path):
+        src = 'def f(open, p):\n    return open(p, "w")\n'
+        assert findings(tmp_path, src, self.RULE) == []
+
+    def test_pragma_suppresses_with_justification(self, tmp_path):
+        src = (
+            'fh = open("stream.txt", "w")  '
+            "# repro: ignore[bare-open-write] streaming transport\n"
+        )
+        assert findings(tmp_path, src, self.RULE) == []
+
+    def test_out_of_scope_paths_not_checked(self, tmp_path):
+        src = 'open("notes.txt", "w")\n'
+        found = findings(tmp_path, src, self.RULE, name="scripts/tool.py")
+        assert found == []

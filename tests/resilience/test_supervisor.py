@@ -1,0 +1,274 @@
+"""RunSupervisor: budgets, watchdog triggers, ladder degradation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AttemptAbortedError,
+    BudgetExceededError,
+    ReproError,
+    StallError,
+)
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.perm import validate_permutation
+from repro.resilience import (
+    Budgets,
+    CheckpointConfig,
+    LadderRung,
+    RunSupervisor,
+    SupervisorPolicy,
+    backoff_delays,
+    default_ladder,
+    heartbeat,
+    parse_ladder,
+    supervised_rabbit_order,
+)
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi_graph(120, 0.06, rng=11)
+
+
+def one_rung(name="only", **budget_kwargs):
+    return SupervisorPolicy(
+        budgets=Budgets(poll_interval_s=0.01, **budget_kwargs),
+        ladder=(LadderRung(name=name, parallel=False),),
+        final_rung_unbudgeted=False,
+    )
+
+
+class TestWatchdogTriggers:
+    def test_time_budget_trips(self):
+        policy = one_rung(time_s=0.05)
+
+        def attempt(rung):
+            while True:
+                heartbeat()
+                time.sleep(0.005)
+
+        with pytest.raises(BudgetExceededError) as exc_info:
+            RunSupervisor(policy).run(attempt)
+        report = exc_info.value.run_report
+        assert not report.success
+        assert report.attempts[-1].trigger == "time"
+        assert report.attempts[-1].outcome == "aborted"
+
+    def test_stall_trips_when_progress_stops(self):
+        policy = one_rung(stall_s=0.05)
+
+        def attempt(rung):
+            while True:
+                heartbeat(0)  # beats arrive, but zero units: a livelock
+                time.sleep(0.005)
+
+        with pytest.raises(StallError) as exc_info:
+            RunSupervisor(policy).run(attempt)
+        assert exc_info.value.run_report.attempts[-1].trigger == "stall"
+
+    def test_rss_budget_trips(self):
+        policy = one_rung(rss_bytes=1)  # any real process exceeds 1 byte
+
+        def attempt(rung):
+            while True:
+                heartbeat()
+                time.sleep(0.005)
+
+        with pytest.raises(BudgetExceededError) as exc_info:
+            RunSupervisor(policy).run(attempt)
+        report = exc_info.value.run_report
+        assert report.attempts[-1].trigger == "rss"
+        assert report.attempts[-1].rss_peak_bytes > 1
+
+    def test_abort_is_cooperative_not_asynchronous(self):
+        """A cancelled attempt keeps running until its next heartbeat."""
+        policy = one_rung(time_s=0.02)
+        reached = []
+
+        def attempt(rung):
+            time.sleep(0.1)  # budget long expired, but no heartbeat yet
+            reached.append("pre-beat work survived")
+            heartbeat()
+            raise AssertionError("heartbeat must have raised")
+
+        with pytest.raises(BudgetExceededError):
+            RunSupervisor(policy).run(attempt)
+        assert reached == ["pre-beat work survived"]
+
+
+class TestLadder:
+    def test_degrades_until_a_rung_succeeds(self):
+        policy = SupervisorPolicy(
+            budgets=Budgets(poll_interval_s=0.01),
+            ladder=(
+                LadderRung(name="a", parallel=False),
+                LadderRung(name="b", parallel=False),
+                LadderRung(name="c", parallel=False),
+            ),
+            backoff_base_s=0.001,
+            backoff_cap_s=0.002,
+        )
+        calls = []
+
+        def attempt(rung):
+            calls.append(rung.name)
+            if rung.name != "c":
+                raise AttemptAbortedError(f"{rung.name} failed")
+            return "done"
+
+        report = RunSupervisor(policy).run(attempt)
+        assert calls == ["a", "b", "c"]
+        assert report.success and report.result == "done"
+        assert report.final_rung == "c"
+        assert report.degradations == 2
+        assert report.attempts[0].backoff_s > 0
+        assert report.attempts[-1].backoff_s == 0
+
+    def test_max_attempts_retries_same_rung(self):
+        policy = SupervisorPolicy(
+            ladder=(LadderRung(name="r", parallel=False, max_attempts=3),),
+            backoff_base_s=0.001,
+            backoff_cap_s=0.002,
+        )
+        calls = []
+
+        def attempt(rung):
+            calls.append(rung.name)
+            if len(calls) < 3:
+                raise AttemptAbortedError("again")
+            return 42
+
+        report = RunSupervisor(policy).run(attempt)
+        assert calls == ["r", "r", "r"]
+        assert report.degradations == 0
+
+    def test_repro_errors_degrade_other_exceptions_propagate(self):
+        policy = SupervisorPolicy(
+            ladder=(
+                LadderRung(name="x", parallel=False),
+                LadderRung(name="y", parallel=False),
+            ),
+            backoff_base_s=0.001,
+            backoff_cap_s=0.002,
+        )
+
+        def repro_fail(rung):
+            if rung.name == "x":
+                raise ReproError("engine error")
+            return "recovered"
+
+        assert RunSupervisor(policy).run(repro_fail).result == "recovered"
+
+        def bug(rung):
+            raise ZeroDivisionError("a genuine bug")
+
+        with pytest.raises(ZeroDivisionError):
+            RunSupervisor(policy).run(bug)
+
+    def test_final_rung_unbudgeted_guarantees_result(self):
+        """Even a hopeless time budget must end in a valid result: the
+        last attempt runs without a watchdog."""
+        policy = SupervisorPolicy(
+            budgets=Budgets(time_s=0.001, poll_interval_s=0.005),
+            ladder=(
+                LadderRung(name="first", parallel=False),
+                LadderRung(name="last", parallel=False),
+            ),
+            backoff_base_s=0.001,
+            backoff_cap_s=0.002,
+        )
+
+        def attempt(rung):
+            for _ in range(20):
+                heartbeat()
+                time.sleep(0.005)
+            return "finished"
+
+        report = RunSupervisor(policy).run(attempt)
+        assert report.success and report.result == "finished"
+
+    def test_report_to_dict_and_summary(self):
+        policy = one_rung(time_s=60.0)
+        report = RunSupervisor(policy).run(lambda rung: "ok")
+        doc = report.to_dict()
+        assert doc["success"] is True
+        assert doc["attempts"][0]["rung"] == "only"
+        assert "ok" in report.summary()
+
+
+class TestPolicyHelpers:
+    def test_backoff_delays_deterministic_capped(self):
+        a = backoff_delays(6, base_s=0.05, cap_s=0.4, seed=9)
+        b = backoff_delays(6, base_s=0.05, cap_s=0.4, seed=9)
+        assert a == b
+        assert all(d <= 0.4 for d in a)
+        assert all(d > 0 for d in a)
+        assert backoff_delays(6, base_s=0.05, cap_s=0.4, seed=10) != a
+
+    def test_parse_ladder_roundtrip(self):
+        rungs = parse_ladder("par-threads,fastseq,dict", 8)
+        assert [r.name for r in rungs] == ["par-threads", "fastseq", "dict"]
+        assert rungs[0].parallel and rungs[0].num_threads == 8
+        assert not rungs[1].parallel and rungs[1].engine == "fast"
+        assert rungs[2].engine == "dict"
+
+    def test_parse_ladder_rejects_unknown_rung(self):
+        with pytest.raises(ReproError):
+            parse_ladder("par-threads,warp-drive", 4)
+
+    def test_default_ladder_order(self):
+        names = [r.name for r in default_ladder(4)]
+        assert names == ["par-threads", "par-interleave", "fastseq", "dict"]
+
+
+class TestSupervisedRabbitOrder:
+    def test_succeeds_on_first_rung_with_room(self, graph):
+        policy = SupervisorPolicy(
+            budgets=Budgets(time_s=120.0, poll_interval_s=0.01)
+        )
+        result, report = supervised_rabbit_order(graph, policy=policy)
+        assert report.success
+        assert report.final_rung == "par-threads"
+        assert len(report.attempts) == 1
+        validate_permutation(result.permutation, graph.num_vertices)
+
+    def test_exhausted_budget_degrades_to_valid_audited_result(self, tmp_path):
+        """The acceptance scenario: a time budget the parallel rungs
+        cannot meet must walk down the ladder and still return a valid,
+        audited dendrogram, with checkpoints carrying progress across
+        rungs."""
+        graph = erdos_renyi_graph(400, 0.03, rng=13)
+        policy = SupervisorPolicy(
+            budgets=Budgets(time_s=0.02, poll_interval_s=0.005),
+            checkpoint=CheckpointConfig(directory=tmp_path / "ck", every=40),
+            backoff_base_s=0.001,
+            backoff_cap_s=0.002,
+        )
+        result, report = supervised_rabbit_order(
+            graph, policy=policy, num_threads=2, audit=True
+        )
+        assert report.success
+        assert report.degradations >= 1
+        assert any(a.outcome == "aborted" for a in report.attempts)
+        validate_permutation(result.permutation, graph.num_vertices)
+        result.dendrogram.validate()
+        # checkpoints carried progress: some attempt after the first
+        # started from a snapshot, so its heartbeat count is below n
+        assert (tmp_path / "ck").exists()
+
+    def test_failure_attaches_report(self):
+        # large enough that the single budgeted rung cannot finish before
+        # the watchdog's first poll
+        big = erdos_renyi_graph(3000, 0.004, rng=17)
+        policy = SupervisorPolicy(
+            budgets=Budgets(time_s=0.001, poll_interval_s=0.002),
+            ladder=(LadderRung(name="par-threads", parallel=True),),
+            final_rung_unbudgeted=False,
+        )
+        with pytest.raises(AttemptAbortedError) as exc_info:
+            supervised_rabbit_order(big, policy=policy)
+        report = exc_info.value.run_report
+        assert not report.success
+        assert report.final_rung == "par-threads"

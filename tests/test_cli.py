@@ -255,3 +255,111 @@ class TestBenchCompareExit:
         base, _, mis = bench_docs
         assert main(["bench", "--compare", base, "--against", mis]) == 1
         assert "MISSING" in capsys.readouterr().out
+
+
+class TestReorderResilience:
+    def test_checkpoint_dir_writes_snapshots(self, graph_file, tmp_path, capsys):
+        path, g = graph_file
+        ck = tmp_path / "ck"
+        rc = main(
+            ["reorder", path, "-a", "Rabbit",
+             "--checkpoint-dir", str(ck), "--checkpoint-every", "50"]
+        )
+        assert rc == 0
+        assert list(ck.glob("*.rbk")), "expected checkpoint files"
+
+    def test_resume_flag_matches_uninterrupted(self, graph_file, tmp_path, capsys):
+        path, g = graph_file
+        ck = tmp_path / "ck"
+        base_out = str(tmp_path / "base.npy")
+        assert main(
+            ["reorder", path, "-a", "Rabbit", "--perm-out", base_out,
+             "--checkpoint-dir", str(ck), "--checkpoint-every", "50"]
+        ) == 0
+        resumed_out = str(tmp_path / "resumed.npy")
+        assert main(
+            ["reorder", path, "-a", "Rabbit", "--perm-out", resumed_out,
+             "--resume", str(ck)]
+        ) == 0
+        assert np.array_equal(np.load(base_out), np.load(resumed_out))
+
+    def test_resume_verb_round_trip(self, graph_file, tmp_path, capsys):
+        path, g = graph_file
+        ck = tmp_path / "ck"
+        base_out = str(tmp_path / "base.npy")
+        assert main(
+            ["reorder", path, "-a", "Rabbit", "--perm-out", base_out,
+             "--checkpoint-dir", str(ck), "--checkpoint-every", "50"]
+        ) == 0
+        resumed_out = str(tmp_path / "resumed.npy")
+        assert main(
+            ["resume", str(ck), path, "--perm-out", resumed_out]
+        ) == 0
+        assert "resumed" in capsys.readouterr().out
+        perm = np.load(resumed_out)
+        validate_permutation(perm, g.num_vertices)
+        assert np.array_equal(np.load(base_out), perm)
+
+    def test_supervised_ladder_prints_report(self, graph_file, tmp_path, capsys):
+        path, g = graph_file
+        perm_out = str(tmp_path / "perm.npy")
+        rc = main(
+            ["reorder", path, "-a", "Rabbit", "--perm-out", perm_out,
+             "--ladder", "fastseq,dict", "--time-budget", "60"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rung" in out  # the RunReport summary
+        validate_permutation(np.load(perm_out), g.num_vertices)
+
+    def test_time_budget_without_ladder_uses_default(
+        self, graph_file, tmp_path, capsys
+    ):
+        # regression: --time-budget alone crashed on parse_ladder(None)
+        path, g = graph_file
+        perm_out = str(tmp_path / "perm.npy")
+        rc = main(
+            ["reorder", path, "-a", "Rabbit", "--perm-out", perm_out,
+             "--time-budget", "60"]
+        )
+        assert rc == 0
+        validate_permutation(np.load(perm_out), g.num_vertices)
+
+    def test_resilience_flags_need_rabbit(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        rc = main(
+            ["reorder", path, "-a", "Degree",
+             "--checkpoint-dir", str(tmp_path / "ck")]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_combined_with_budget_rejected(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        ck = tmp_path / "ck"
+        assert main(
+            ["reorder", path, "-a", "Rabbit",
+             "--checkpoint-dir", str(ck), "--checkpoint-every", "50"]
+        ) == 0
+        rc = main(
+            ["reorder", path, "-a", "Rabbit", "--resume", str(ck),
+             "--time-budget", "60"]
+        )
+        assert rc == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_resume_verb_missing_checkpoint_fails_cleanly(
+        self, graph_file, tmp_path, capsys
+    ):
+        path, _ = graph_file
+        rc = main(["resume", str(tmp_path / "empty"), path])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStressChaos:
+    def test_chaos_quick_smoke(self, capsys):
+        assert main(["stress", "--chaos", "--quick", "--scale", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos" in out
+        assert "resumed" in out
