@@ -13,6 +13,11 @@ code grows:
   into :class:`AtomicPairArray`'s private storage (``_degree``,
   ``_child``, ``_locks``, ``_lock_for``); shared mutable state is only
   touched through ``load``/``swap``/``cas`` or the quiesced bulk views.
+* ``unsupervised-process`` — no bare child processes
+  (``multiprocessing.Process``, ``os.fork``,
+  ``concurrent.futures.ProcessPoolExecutor``) anywhere in ``repro/``
+  outside :mod:`repro.parallel.procpool`, the one place that supervises
+  them (heartbeats, lease reclamation, respawn budgets).
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from typing import Iterator
 from repro.check.astutil import collect_imports
 from repro.check.engine import FileContext, Finding, Rule, register_rule
 
-__all__ = ["LockInLockfreePath", "PrivateAtomicState"]
+__all__ = ["LockInLockfreePath", "PrivateAtomicState", "UnsupervisedProcess"]
 
 #: Blocking primitives whose construction the rule flags.
 _BLOCKING = {
@@ -100,5 +105,47 @@ class PrivateAtomicState(Rule):
                 )
 
 
+#: Process-creating callables that must stay behind the supervised pool.
+_BARE_PROCESS = {
+    "multiprocessing.Process",
+    "os.fork",
+    "concurrent.futures.ProcessPoolExecutor",
+}
+
+
+class UnsupervisedProcess(Rule):
+    id = "unsupervised-process"
+    rationale = (
+        "A bare child process has no heartbeat, no lease reclamation, "
+        "and no respawn budget — an OOM kill silently loses its work.  "
+        "All process parallelism goes through the supervised pool in "
+        "repro.parallel.procpool, which owns those guarantees."
+    )
+    scope = ("repro/",)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not super().applies_to(ctx):
+            return False
+        # procpool.py *is* the supervised pool.
+        return not ctx.rel.endswith("repro/parallel/procpool.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = collect_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve(node.func)
+            if resolved in _BARE_PROCESS:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"bare child process via {resolved}(); use the "
+                    "supervised pool (repro.parallel.procpool."
+                    "ProcessPool) so worker loss is detected and the "
+                    "work is reclaimed",
+                )
+
+
 register_rule(LockInLockfreePath())
 register_rule(PrivateAtomicState())
+register_rule(UnsupervisedProcess())

@@ -85,6 +85,17 @@ def _save_permutation(path: str, permutation) -> None:
     atomic_numpy_save(dest, lambda buf: np.save(buf, permutation))
 
 
+def _require_positive(args, *names: str) -> None:
+    """Reject non-positive worker counts (``--threads 0`` is never a
+    sequential run, it is a typo) with a :class:`ReproError` so every
+    command fails the same way: ``error: ...`` on stderr, exit code 2."""
+    for name in names:
+        value = getattr(args, name, None)
+        if value is not None and value < 1:
+            flag = "--" + name.replace("_", "-")
+            raise ReproError(f"{flag} must be >= 1, got {value}")
+
+
 def _resilience_flags(args) -> bool:
     return any(
         getattr(args, name, None) is not None
@@ -144,14 +155,17 @@ def _reorder_resilient(args, graph):
     policy = SupervisorPolicy(
         budgets=budgets,
         ladder=(
-            default_ladder(args.threads) if args.ladder is None
-            else parse_ladder(args.ladder, args.threads)
+            default_ladder(args.threads, num_procs=args.procs)
+            if args.ladder is None
+            else parse_ladder(args.ladder, args.threads,
+                              num_procs=args.procs)
         ),
         checkpoint=checkpoint,
         seed=args.seed,
     )
     result, report = supervised_rabbit_order(
-        graph, policy=policy, num_threads=args.threads
+        graph, policy=policy, num_threads=args.threads,
+        num_procs=args.procs,
     )
     print(report.summary())
     return result
@@ -160,6 +174,7 @@ def _reorder_resilient(args, graph):
 def _cmd_reorder(args) -> int:
     from repro.order import get_algorithm
 
+    _require_positive(args, "threads", "procs")
     resilient = _resilience_flags(args)
     if (args.engine or resilient) and args.algorithm not in (
         "Rabbit", "RabbitDict"
@@ -219,6 +234,7 @@ def _cmd_resume(args) -> int:
     from repro.rabbit.order import rabbit_order, resolve_resume
     from repro.resilience import CheckpointConfig
 
+    _require_positive(args, "threads", "procs")
     snap = resolve_resume(args.checkpoint)
     cfg = snap.config
     fingerprint = snap.meta.get("fingerprint", {})
@@ -236,9 +252,12 @@ def _cmd_resume(args) -> int:
             every=int(cfg.get("checkpoint_every", 1024)),
         )
     if cfg.get("parallel", False):
+        executor = cfg.get("executor")
+        workers = args.procs if executor == "procs" else args.threads
         kwargs.update(
             parallel=True,
-            num_threads=int(cfg.get("num_threads", 4)),
+            executor=executor,
+            num_threads=int(workers or cfg.get("num_threads", 4)),
             scheduler_seed=cfg.get("scheduler_seed"),
         )
     else:
@@ -354,11 +373,31 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_stress(args) -> int:
-    from repro.experiments.stress import run_chaos, run_stress
+    from repro.experiments.stress import run_chaos, run_procs_chaos, run_stress
 
+    _require_positive(args, "threads", "procs")
     if args.seeds < 1:
         print(f"error: --seeds must be >= 1, got {args.seeds}", file=sys.stderr)
         return 2
+    if args.executor == "procs" and not args.chaos:
+        print(
+            "error: --executor procs runs the worker-kill chaos campaign; "
+            "combine it with --chaos (the fault-plan sweep instruments the "
+            "thread and interleave executors)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.chaos and args.executor == "procs":
+        report = run_procs_chaos(
+            scale=args.scale,
+            edge_factor=args.edge_factor,
+            graph_seed=args.graph_seed,
+            num_seeds=args.seeds,
+            num_procs=args.procs,
+            quick=args.quick,
+        )
+        print(report.table())
+        return 0 if report.ok else 1
     if args.chaos:
         report = run_chaos(
             scale=args.scale,
@@ -475,10 +514,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run under the supervisor with this RSS budget")
     p.add_argument("--ladder", metavar="SPEC",
                    help="supervisor degradation ladder, comma-separated "
-                        "rung names (default: "
-                        "par-threads,par-interleave,fastseq,dict)")
+                        "rung names (default: par-procs,par-threads,"
+                        "par-interleave,fastseq,dict)")
     p.add_argument("--threads", type=int, default=4,
                    help="threads for supervised parallel rungs")
+    p.add_argument("--procs", type=int, default=None,
+                   help="worker processes for the par-procs rung "
+                        "(default 2)")
     p.add_argument("--verbose", "-v", action="store_true",
                    help="print the per-phase span breakdown")
     p.set_defaults(fn=_cmd_reorder)
@@ -493,6 +535,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-dir", metavar="DIR",
                    help="continue snapshotting into DIR (default: the "
                         "checkpoint's own directory)")
+    p.add_argument("--threads", type=int, default=None,
+                   help="override the snapshot's thread count for "
+                        "parallel resumes")
+    p.add_argument("--procs", type=int, default=None,
+                   help="override the snapshot's worker-process count "
+                        "for process-pool resumes")
     p.add_argument("--perm-out", help="write pi as .npy")
     p.add_argument("--graph-out", help="write the reordered graph")
     p.add_argument("--verbose", "-v", action="store_true",
@@ -536,15 +584,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--graph-seed", type=int, default=3)
     p.add_argument("--threads", type=int, default=4,
                    help="modelled hardware threads (scheduler window)")
-    p.add_argument("--executor", choices=["interleave", "threads"],
+    p.add_argument("--procs", type=int, default=2,
+                   help="worker processes for --executor procs")
+    p.add_argument("--executor", choices=["interleave", "threads", "procs"],
                    default="interleave",
-                   help="deterministic interleaving scheduler or real threads")
+                   help="deterministic interleaving scheduler, real "
+                        "threads, or (with --chaos) the shared-memory "
+                        "process pool")
     p.add_argument("--races", action="store_true",
                    help="run the happens-before race detector on every cell")
     p.add_argument("--chaos", action="store_true",
                    help="chaos campaign instead: SIGKILL a checkpointing "
-                        "subprocess mid-detection, resume, verify the "
-                        "permutation matches the uninterrupted run")
+                        "subprocess mid-detection (or, with --executor "
+                        "procs, random pool workers mid-round), resume or "
+                        "reclaim, verify the permutation")
     p.set_defaults(fn=_cmd_stress)
 
     p = sub.add_parser(

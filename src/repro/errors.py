@@ -22,6 +22,7 @@ __all__ = [
     "CheckError",
     "PrecisionError",
     "CheckpointError",
+    "ProcPoolError",
     "AttemptAbortedError",
     "BudgetExceededError",
     "StallError",
@@ -93,6 +94,13 @@ class CheckpointError(ReproError):
     """A checkpoint file is corrupt (bad magic/CRC/truncation), has an
     unsupported schema version, or is stale (its fingerprint does not
     match the run being resumed)."""
+
+
+class ProcPoolError(ReproError):
+    """The supervised process pool cannot make progress: misconfigured
+    (zero workers), its respawn budget is exhausted with work still
+    pending and no sequential fallback, or its workers cannot be
+    spawned at all."""
 
 
 class AttemptAbortedError(ReproError):

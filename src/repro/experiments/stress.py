@@ -43,6 +43,9 @@ __all__ = [
     "ChaosOutcome",
     "ChaosReport",
     "run_chaos",
+    "ProcsChaosOutcome",
+    "ProcsChaosReport",
+    "run_procs_chaos",
 ]
 
 
@@ -612,4 +615,175 @@ def run_chaos(
                             every=every,
                         )
                     )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Process-pool worker-kill campaign (``--chaos --executor procs``).
+
+
+@dataclass
+class ProcsChaosOutcome:
+    """One seed of the worker-kill campaign."""
+
+    seed: int
+    ok: bool
+    error: str | None = None
+    kills: int = 0
+    workers_lost: int = 0
+    reclaimed: int = 0
+    quarantined: int = 0
+    fallback_tasks: int = 0
+    conflicts: int = 0
+
+
+@dataclass
+class ProcsChaosReport:
+    """All seeds of a worker-kill campaign plus the registry deltas."""
+
+    graph_desc: str
+    outcomes: list[ProcsChaosOutcome] = field(default_factory=list)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def failures(self) -> list[ProcsChaosOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def table(self) -> str:
+        header = (
+            f"{'seed':>5} {'kills':>6} {'lost':>5} {'reclaim':>8} "
+            f"{'poison':>7} {'fallback':>9} {'conflict':>9} {'ok':>4}"
+        )
+        lines = [f"worker-kill campaign on {self.graph_desc}", header,
+                 "-" * len(header)]
+        for o in self.outcomes:
+            lines.append(
+                f"{o.seed:>5} {o.kills:>6} {o.workers_lost:>5} "
+                f"{o.reclaimed:>8} {o.quarantined:>7} "
+                f"{o.fallback_tasks:>9} {o.conflicts:>9} "
+                f"{'ok' if o.ok else 'FAIL':>4}"
+            )
+        for o in self.failures:
+            lines.append(f"FAILED seed={o.seed}: {o.error}")
+        if self.metrics:
+            lines.append("")
+            lines.append("metrics registry (this campaign):")
+            for name, value in sorted(self.metrics.items()):
+                lines.append(f"  {name:<40} {value:>14.0f}")
+        verdict = (
+            "every kill was absorbed: permutations bit-identical to the "
+            "sequential oracle"
+            if self.ok
+            else f"{len(self.failures)} of {len(self.outcomes)} seeds FAILED"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.table()
+
+
+def run_procs_chaos(
+    *,
+    scale: int = 6,
+    edge_factor: int = 4,
+    graph_seed: int = 3,
+    num_seeds: int = 25,
+    num_procs: int = 2,
+    kill_rate: float = 0.5,
+    max_kills: int = 4,
+    quick: bool = False,
+) -> ProcsChaosReport:
+    """SIGKILL random pool workers mid-round, ``num_seeds`` campaigns.
+
+    Each seed runs the process-pool detection engine under a seeded
+    :class:`~repro.parallel.procpool.PoolChaosPlan` that SIGKILLs a
+    random busy worker in roughly every other round, with ``audit=True``,
+    and requires the finished permutation to be **bit-identical** to the
+    sequential dict-engine oracle — worker loss must be fully absorbed by
+    lease reclamation (and, for poison-tier repeat offenders, the
+    in-parent fallback), never visible in the output.  The
+    ``procpool.*`` lifecycle counters are captured per seed and summed
+    into the report's registry delta.
+    """
+    from repro.parallel.procpool import PoolChaosPlan, PoolConfig
+    from repro.rabbit.order import rabbit_order
+    from repro.rabbit.parproc import community_detection_procs
+
+    if quick:
+        num_seeds = min(num_seeds, 3)
+    registry = get_registry()
+    graph = rmat_graph(scale, edge_factor=edge_factor, rng=graph_seed)
+    oracle = rabbit_order(graph, engine="dict").permutation
+    report = ProcsChaosReport(
+        graph_desc=(
+            f"R-MAT scale={scale} ({graph.num_vertices} vertices, "
+            f"{graph.num_undirected_edges} edges), {num_seeds} seeds, "
+            f"{num_procs} workers, kill_rate={kill_rate}"
+        )
+    )
+    campaign_before = registry.counter_values("procpool")
+    pool_config = PoolConfig(
+        num_workers=num_procs,
+        heartbeat_timeout_s=10.0,
+        poll_interval_s=0.01,
+    )
+    for seed in range(num_seeds):
+        outcome = ProcsChaosOutcome(seed=seed, ok=False)
+        before = registry.counter_values("procpool")
+        try:
+            res = community_detection_procs(
+                graph,
+                num_procs=num_procs,
+                chaos=PoolChaosPlan(
+                    seed=seed, kill_rate=kill_rate, max_kills=max_kills
+                ),
+                pool_config=pool_config,
+                audit=True,
+            )
+            delta = counter_delta(before, registry.counter_values("procpool"))
+            outcome.kills = int(delta.get("procpool.chaos.kills", 0))
+            outcome.workers_lost = int(delta.get("procpool.workers.lost", 0))
+            outcome.reclaimed = int(
+                delta.get("procpool.leases.reclaimed", 0)
+            )
+            outcome.quarantined = int(
+                delta.get("procpool.tasks.quarantined", 0)
+            )
+            outcome.fallback_tasks = int(
+                delta.get("procpool.fallback.tasks", 0)
+            )
+            outcome.conflicts = int(
+                delta.get("procpool.speculation.conflicts", 0)
+            )
+            perm = res.dendrogram.ordering()
+            validate_permutation(perm, graph.num_vertices)
+            if not np.array_equal(perm, oracle):
+                raise ReproError(
+                    "permutation differs from the sequential oracle"
+                )
+            if delta.get("procpool.workers.spawned", 0) < num_procs:
+                raise ReproError("pool never spawned its workers")
+            if outcome.workers_lost < outcome.kills:
+                raise ReproError(
+                    f"{outcome.kills} kills but only "
+                    f"{outcome.workers_lost} workers declared lost"
+                )
+            s = res.stats
+            if s.merges + s.toplevels != graph.num_vertices:
+                raise ReproError(
+                    f"counter mismatch: {s.merges} merges + "
+                    f"{s.toplevels} toplevels != {graph.num_vertices}"
+                )
+            outcome.ok = True
+        except (ReproError, PermutationError) as exc:
+            outcome.error = f"{type(exc).__name__}: {exc}"
+        report.outcomes.append(outcome)
+    report.metrics = counter_delta(
+        campaign_before, registry.counter_values("procpool")
+    )
     return report

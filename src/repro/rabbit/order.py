@@ -115,6 +115,7 @@ def rabbit_order(
     engine: str = "fast",
     checkpoint=None,
     resume: "Snapshot | str | Path | None" = None,
+    executor: str | None = None,
 ) -> RabbitResult:
     """Compute the Rabbit Order permutation of *graph*.
 
@@ -124,7 +125,12 @@ def rabbit_order(
         use the lock-free parallel detection (Algorithm 3) and parallel
         ordering generation; otherwise the sequential variants.
     num_threads:
-        threads for the parallel variant.
+        threads for the parallel variant (worker processes when
+        ``executor="procs"``).
+    executor:
+        when *parallel*, the explicit executor: ``"procs"`` (supervised
+        shared-memory process pool), ``"threads"``, ``"interleave"``, or
+        ``None`` to infer from ``scheduler_seed``.
     engine:
         sequential detection engine: ``"fast"`` (vectorised flat-array
         aggregation, the default) or ``"dict"`` (the reference per-edge
@@ -170,6 +176,7 @@ def rabbit_order(
                 audit=audit,
                 checkpoint=checkpoint,
                 resume=resume,
+                executor=executor,
             )
         with span("rabbit.ordering", parallel=True):
             perm = ordering_generation_par(result.dendrogram, num_threads)

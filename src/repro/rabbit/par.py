@@ -44,7 +44,7 @@ import numpy as np
 
 from repro.community.dendrogram import NO_VERTEX, Dendrogram
 from repro.community.modularity import newman_degrees
-from repro.errors import AuditError
+from repro.errors import AuditError, ReproError
 from repro.graph.csr import CSRGraph
 from repro.graph.validate import require_symmetric
 from repro.obs.metrics import get_registry
@@ -346,16 +346,27 @@ def community_detection_par(
     detect_races: bool = False,
     checkpoint=None,
     resume: Snapshot | None = None,
+    executor: str | None = None,
 ) -> ParallelDetectionResult:
     """Parallel incremental aggregation (Algorithm 3).
 
     Parameters
     ----------
     num_threads:
-        worker threads for the real-thread executor.
+        worker threads for the real-thread executor (worker *processes*
+        for ``executor="procs"``).
     scheduler_seed:
         if not ``None``, run under the deterministic interleaving
         scheduler instead of real threads (single OS thread, replayable).
+    executor:
+        explicit executor choice: ``"procs"`` (supervised shared-memory
+        process pool, :mod:`repro.rabbit.parproc`), ``"threads"``,
+        ``"interleave"``, or ``None`` to infer from ``scheduler_seed``
+        (the legacy convention: a seed selects the interleaver).  The
+        procs executor supports neither ``fault_plan`` nor
+        ``detect_races`` — it raises :class:`~repro.errors.ReproError`
+        so the supervisor's ladder degrades to the thread rung, whose
+        CAS protocol those facilities instrument.
     chunk_size:
         vertices per worker task; defaults to an even split into
         ``4 * num_threads`` chunks (dynamic scheduling smooths imbalance).
@@ -389,6 +400,32 @@ def community_detection_par(
         bit-identical to an uninterrupted run in the same checkpointed
         mode.
     """
+    if executor not in (None, "procs", "threads", "interleave"):
+        raise ReproError(
+            f"executor must be 'procs', 'threads', 'interleave' or None, "
+            f"got {executor!r}"
+        )
+    if executor == "procs":
+        if fault_plan is not None or detect_races:
+            raise ReproError(
+                "the process-pool executor supports neither fault_plan nor "
+                "detect_races; use the thread or interleave executors"
+            )
+        from repro.rabbit.parproc import community_detection_procs
+
+        return community_detection_procs(
+            graph,
+            num_procs=num_threads,
+            merge_threshold=merge_threshold,
+            collect_vertex_work=collect_vertex_work,
+            audit=audit,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+    if executor == "interleave" and scheduler_seed is None:
+        scheduler_seed = 0
+    elif executor == "threads":
+        scheduler_seed = None
     require_symmetric(graph, "Rabbit Order")
     n = graph.num_vertices
     if checkpoint is not None or resume is not None:

@@ -10,7 +10,8 @@ memory budgets.  This package provides the three pieces:
   detection engine (``resume=`` on the detection entry points);
 * :mod:`repro.resilience.supervisor` — a :class:`RunSupervisor` wrapping
   an entry point with budgets, a progress watchdog, and a degradation
-  ladder ``par(threads) → par(interleave) → fastseq → dict``;
+  ladder ``par(procs) → par(threads) → par(interleave) → fastseq →
+  dict``;
 * :mod:`repro.resilience.policy` — the declarative budget/ladder/backoff
   policy the supervisor executes.
 
@@ -47,7 +48,9 @@ from repro.resilience.supervisor import (
     RunReport,
     RunSupervisor,
     current_rss_bytes,
+    register_child_pids,
     supervised_rabbit_order,
+    unregister_child_pids,
 )
 
 __all__ = [
@@ -75,5 +78,7 @@ __all__ = [
     "RunReport",
     "RunSupervisor",
     "current_rss_bytes",
+    "register_child_pids",
     "supervised_rabbit_order",
+    "unregister_child_pids",
 ]

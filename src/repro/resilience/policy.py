@@ -10,7 +10,7 @@ same engine outcomes) make the same decisions in the same order:
 * the **ladder** — an ordered tuple of :class:`LadderRung`\\ s, each one
   engine configuration, tried in order from fastest/least-robust to
   slowest/most-robust (default
-  ``par(threads) → par(interleave) → fastseq → dict``);
+  ``par(procs) → par(threads) → par(interleave) → fastseq → dict``);
 * :func:`backoff_delays` — capped exponential backoff between attempts
   with *seeded* jitter, so retry timing is replayable instead of
   thundering or flaky;
@@ -91,18 +91,19 @@ class LadderRung:
     parallel: bool
     #: sequential engines only: "fast" | "dict"
     engine: str = "fast"
-    #: parallel only: "threads" (real threads) | "interleave"
-    #: (deterministic seeded scheduler)
+    #: parallel only: "procs" (supervised process pool) | "threads"
+    #: (real threads) | "interleave" (deterministic seeded scheduler)
     executor: str = "threads"
-    #: parallel only; ``None`` = the caller's thread count
+    #: parallel only: degree of parallelism (worker processes for the
+    #: "procs" executor, threads otherwise); ``None`` = the caller's count
     num_threads: int | None = None
     #: attempts on this rung before degrading to the next
     max_attempts: int = 1
 
     def __post_init__(self) -> None:
-        if self.executor not in ("threads", "interleave"):
+        if self.executor not in ("procs", "threads", "interleave"):
             raise ReproError(
-                f"rung executor must be 'threads' or 'interleave', "
+                f"rung executor must be 'procs', 'threads' or 'interleave', "
                 f"got {self.executor!r}"
             )
         if self.engine not in ("fast", "dict"):
@@ -115,10 +116,20 @@ class LadderRung:
             )
 
 
-def default_ladder(num_threads: int | None = None) -> tuple[LadderRung, ...]:
+def default_ladder(
+    num_threads: int | None = None, num_procs: int | None = None
+) -> tuple[LadderRung, ...]:
     """The canonical degradation ladder:
-    ``par(threads) → par(interleave) → fastseq → dict``."""
+    ``par(procs) → par(threads) → par(interleave) → fastseq → dict``.
+
+    The top rung is the fault-tolerant shared-memory process pool
+    (:mod:`repro.parallel.procpool`) — the only true-multicore executor;
+    losing its workers (or its whole pool) degrades to the GIL-bound
+    thread executor, and onward to the sequential engines.
+    """
     return (
+        LadderRung("par-procs", parallel=True, executor="procs",
+                   num_threads=num_procs),
         LadderRung("par-threads", parallel=True, executor="threads",
                    num_threads=num_threads),
         LadderRung("par-interleave", parallel=True, executor="interleave",
@@ -133,15 +144,20 @@ RUNG_NAMES: tuple[str, ...] = tuple(r.name for r in default_ladder())
 
 
 def parse_ladder(
-    spec: str, num_threads: int | None = None
+    spec: str,
+    num_threads: int | None = None,
+    num_procs: int | None = None,
 ) -> tuple[LadderRung, ...]:
     """Parse a comma-separated ``--ladder`` spec into rungs.
 
     Example: ``"par-interleave,fastseq,dict"``.  Unknown names raise
-    :class:`~repro.errors.ReproError` listing the canonical four.
+    :class:`~repro.errors.ReproError` listing the canonical five;
+    duplicate names are rejected (retrying a rung is ``max_attempts``'s
+    job, and a repeated rung would silently skew the backoff schedule).
     """
-    by_name = {r.name: r for r in default_ladder(num_threads)}
+    by_name = {r.name: r for r in default_ladder(num_threads, num_procs)}
     rungs = []
+    seen: set[str] = set()
     for token in spec.split(","):
         name = token.strip()
         if not name:
@@ -151,6 +167,12 @@ def parse_ladder(
                 f"unknown ladder rung {name!r}; choose from "
                 f"{', '.join(RUNG_NAMES)}"
             )
+        if name in seen:
+            raise ReproError(
+                f"duplicate ladder rung {name!r} in spec {spec!r}; each "
+                "rung may appear once (use max_attempts to retry a rung)"
+            )
+        seen.add(name)
         rungs.append(by_name[name])
     if not rungs:
         raise ReproError(f"ladder spec {spec!r} selects no rungs")

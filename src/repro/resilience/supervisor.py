@@ -8,7 +8,11 @@ thread polls three signals every ``poll_interval_s``:
 
 * **wall clock** — elapsed attempt time against ``Budgets.time_s``;
 * **RSS** — resident set size (``/proc/self/status`` ``VmRSS``, falling
-  back to ``ru_maxrss``) against ``Budgets.rss_bytes``;
+  back to ``ru_maxrss``) against ``Budgets.rss_bytes``.  When a process
+  pool is live (:mod:`repro.parallel.procpool` registers its worker pids
+  via :func:`register_child_pids`), the sample *sums* every registered
+  child's ``/proc/<pid>/status`` ``VmRSS`` into the total, so the budget
+  covers the whole worker tree rather than just the parent;
 * **progress** — the ``resilience.progress`` metrics counter fed by the
   engines' heartbeats; no movement for ``Budgets.stall_s`` seconds is a
   stall (the livelock signature — retries beat zero units).
@@ -64,30 +68,67 @@ __all__ = [
     "RunReport",
     "RunSupervisor",
     "current_rss_bytes",
+    "register_child_pids",
+    "unregister_child_pids",
     "supervised_rabbit_order",
 ]
 
 
-def current_rss_bytes() -> int | None:
-    """Current resident set size of this process, in bytes.
+#: Worker pids whose RSS counts against the memory budget (registered by
+#: the process pool for its lifetime; dead pids read as 0 and are
+#: harmless until unregistered).
+_CHILD_PIDS: set[int] = set()
+_CHILD_PIDS_LOCK = threading.Lock()
 
-    Reads ``VmRSS`` from ``/proc/self/status`` (Linux); falls back to
-    ``ru_maxrss`` (the *peak*, still a valid ceiling signal) where /proc
-    is unavailable; returns ``None`` if neither source works.
-    """
+
+def register_child_pids(pids) -> None:
+    """Add worker *pids* to the RSS accounting set (idempotent)."""
+    with _CHILD_PIDS_LOCK:
+        _CHILD_PIDS.update(int(p) for p in pids)
+
+
+def unregister_child_pids(pids) -> None:
+    """Remove worker *pids* from the RSS accounting set (idempotent)."""
+    with _CHILD_PIDS_LOCK:
+        _CHILD_PIDS.difference_update(int(p) for p in pids)
+
+
+def _proc_status_rss_bytes(pid: "int | str") -> int | None:
     try:
-        with open("/proc/self/status", "r", encoding="ascii") as fh:
+        with open(f"/proc/{pid}/status", "r", encoding="ascii") as fh:
             for line in fh:
                 if line.startswith("VmRSS:"):
                     return int(line.split()[1]) * 1024
     except (OSError, ValueError, IndexError):
         pass
-    try:
-        import resource
+    return None
 
-        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
-    except (ImportError, OSError, ValueError):
-        return None
+
+def current_rss_bytes() -> int | None:
+    """Current resident set size of this process *tree*, in bytes.
+
+    Reads ``VmRSS`` from ``/proc/self/status`` (Linux); falls back to
+    ``ru_maxrss`` (the *peak*, still a valid ceiling signal) where /proc
+    is unavailable; returns ``None`` if neither source works.  Any pids
+    registered via :func:`register_child_pids` (pool workers) contribute
+    their own ``/proc/<pid>/status`` ``VmRSS`` to the sum; pids whose
+    status cannot be read (already dead) contribute nothing.
+    """
+    own = _proc_status_rss_bytes("self")
+    if own is None:
+        try:
+            import resource
+
+            own = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
+        except (ImportError, OSError, ValueError):
+            return None
+    with _CHILD_PIDS_LOCK:
+        children = list(_CHILD_PIDS)
+    for pid in children:
+        child = _proc_status_rss_bytes(pid)
+        if child is not None:
+            own += child
+    return own
 
 
 class _Watchdog:
@@ -366,6 +407,7 @@ def supervised_rabbit_order(
     *,
     policy: SupervisorPolicy | None = None,
     num_threads: int = 4,
+    num_procs: int | None = None,
     scheduler_seed: int | None = None,
     merge_threshold: float = 0.0,
     collect_vertex_work: bool = False,
@@ -375,12 +417,20 @@ def supervised_rabbit_order(
     """Supervised :func:`~repro.rabbit.order.rabbit_order`.
 
     Maps each ladder rung onto the entry point's engine knobs —
-    parallel rungs pick the executor (real threads or the deterministic
-    interleaving scheduler), sequential rungs pick the engine — and, when
+    parallel rungs pick the executor (the shared-memory process pool,
+    real threads, or the deterministic interleaving scheduler),
+    sequential rungs pick the engine — and, when
     the policy carries a checkpoint directory, threads
     ``checkpoint=``/``resume=`` through every attempt so a degraded rung
     continues from the aborted rung's last snapshot instead of starting
     over.
+
+    ``num_procs`` sizes the ``par-procs`` rung's worker pool (default 2
+    when neither the rung nor the caller says otherwise).  The procs
+    executor rejects ``fault_plan`` with a
+    :class:`~repro.errors.ReproError`, which the ladder treats as an
+    ordinary failed attempt — fault-injected runs degrade straight to
+    the thread rung, whose CAS protocol the injector instruments.
 
     Returns ``(RabbitResult, RunReport)``.
     """
@@ -411,10 +461,15 @@ def supervised_rabbit_order(
                 if scheduler_seed is not None
                 else policy.seed
             )
+            if rung.executor == "procs":
+                workers = rung.num_threads or num_procs or 2
+            else:
+                workers = rung.num_threads or num_threads
             return rabbit_order(
                 graph,
                 parallel=True,
-                num_threads=rung.num_threads or num_threads,
+                executor=rung.executor,
+                num_threads=workers,
                 scheduler_seed=seed if interleave else None,
                 fault_plan=fault_plan,
                 audit=audit,

@@ -339,3 +339,57 @@ class TestBareOpenWrite:
         src = 'open("notes.txt", "w")\n'
         found = findings(tmp_path, src, self.RULE, name="scripts/tool.py")
         assert found == []
+
+
+class TestUnsupervisedProcess:
+    RULE = "unsupervised-process"
+
+    def test_flags_bare_multiprocessing_process(self, tmp_path):
+        src = (
+            "import multiprocessing\n"
+            "p = multiprocessing.Process(target=print)\n"
+        )
+        found = findings(tmp_path, src, self.RULE)
+        assert len(found) == 1
+        assert "multiprocessing.Process" in found[0].message
+        assert "procpool" in found[0].message
+
+    def test_flags_os_fork_and_from_import_executor(self, tmp_path):
+        src = (
+            "import os\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "pid = os.fork()\n"
+            "pool = ProcessPoolExecutor(2)\n"
+        )
+        assert len(findings(tmp_path, src, self.RULE)) == 2
+
+    def test_flags_aliased_import(self, tmp_path):
+        src = "import multiprocessing as mp\np = mp.Process(target=print)\n"
+        assert len(findings(tmp_path, src, self.RULE)) == 1
+
+    def test_clean_on_supervised_pool_usage(self, tmp_path):
+        src = (
+            "from repro.parallel.procpool import ProcessPool\n"
+            "pool = ProcessPool(lambda init, beat: (lambda p: p))\n"
+        )
+        assert findings(tmp_path, src, self.RULE) == []
+
+    def test_exempts_the_pool_itself(self, tmp_path):
+        src = (
+            "import multiprocessing\n"
+            "p = multiprocessing.Process(target=print)\n"
+        )
+        assert (
+            findings(
+                tmp_path, src, self.RULE,
+                name="repro/parallel/procpool.py",
+            )
+            == []
+        )
+
+    def test_clean_on_thread_pool(self, tmp_path):
+        src = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "pool = ThreadPoolExecutor(2)\n"
+        )
+        assert findings(tmp_path, src, self.RULE) == []

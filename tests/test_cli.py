@@ -363,3 +363,87 @@ class TestStressChaos:
         out = capsys.readouterr().out
         assert "chaos" in out
         assert "resumed" in out
+
+
+class TestWorkerCountValidation:
+    """``--threads``/``--procs`` below 1 fail identically everywhere:
+    ``error: --<flag> must be >= 1`` on stderr, exit code 2."""
+
+    @pytest.mark.parametrize("flag", ["--threads", "--procs"])
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_reorder_rejects_nonpositive(self, graph_file, flag, value, capsys):
+        path, _ = graph_file
+        rc = main(["reorder", path, "-a", "Rabbit",
+                   "--time-budget", "60", flag, value])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert f"error: {flag} must be >= 1, got {value}" in err
+
+    @pytest.mark.parametrize("flag", ["--threads", "--procs"])
+    def test_resume_rejects_nonpositive(self, graph_file, tmp_path, flag, capsys):
+        path, _ = graph_file
+        ck = tmp_path / "ck"
+        assert main(
+            ["reorder", path, "-a", "Rabbit",
+             "--checkpoint-dir", str(ck), "--checkpoint-every", "50"]
+        ) == 0
+        rc = main(["resume", str(ck), path, flag, "0"])
+        assert rc == 2
+        assert f"error: {flag} must be >= 1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--threads", "--procs"])
+    def test_stress_rejects_nonpositive(self, flag, capsys):
+        rc = main(["stress", "--quick", flag, "0"])
+        assert rc == 2
+        assert f"error: {flag} must be >= 1" in capsys.readouterr().err
+
+    def test_valid_counts_still_accepted(self, graph_file, tmp_path, capsys):
+        path, g = graph_file
+        perm_out = str(tmp_path / "perm.npy")
+        rc = main(
+            ["reorder", path, "-a", "Rabbit", "--perm-out", perm_out,
+             "--ladder", "par-procs,dict", "--time-budget", "60",
+             "--procs", "2"]
+        )
+        assert rc == 0
+        validate_permutation(np.load(perm_out), g.num_vertices)
+
+
+class TestStressProcsChaos:
+    def test_procs_chaos_quick_smoke(self, capsys):
+        rc = main(
+            ["stress", "--chaos", "--executor", "procs", "--quick",
+             "--scale", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "worker-kill campaign" in out
+        assert "bit-identical" in out
+
+    def test_procs_executor_requires_chaos(self, capsys):
+        rc = main(["stress", "--executor", "procs", "--quick"])
+        assert rc == 2
+        assert "--chaos" in capsys.readouterr().err
+
+
+class TestResumeProcsSnapshot:
+    def test_resume_verb_finishes_procs_checkpoint(self, graph_file, tmp_path, capsys):
+        from repro.rabbit.parproc import community_detection_procs
+        from repro.resilience import CheckpointConfig
+
+        path, g = graph_file
+        ck = tmp_path / "ck"
+        community_detection_procs(
+            g, num_procs=2,
+            checkpoint=CheckpointConfig(directory=ck, every=50),
+        )
+        base = main(["reorder", path, "-a", "Rabbit",
+                     "--perm-out", str(tmp_path / "base.npy")])
+        assert base == 0
+        rc = main(["resume", str(ck), path, "--procs", "2",
+                   "--perm-out", str(tmp_path / "resumed.npy")])
+        assert rc == 0
+        assert "resumed procs detection" in capsys.readouterr().out
+        assert np.array_equal(
+            np.load(tmp_path / "base.npy"), np.load(tmp_path / "resumed.npy")
+        )
