@@ -5,6 +5,13 @@ Rule catalogue (ids, rationale, suppression syntax): ``docs/CHECKS.md``.
 
 from __future__ import annotations
 
-from repro.check.rules import concurrency, determinism, dtypes, imports, io
+from repro.check.rules import (
+    asynchrony,
+    concurrency,
+    determinism,
+    dtypes,
+    imports,
+    io,
+)
 
-__all__ = ["concurrency", "determinism", "dtypes", "imports", "io"]
+__all__ = ["asynchrony", "concurrency", "determinism", "dtypes", "imports", "io"]

@@ -1,0 +1,98 @@
+"""Event-loop discipline for the serving layer.
+
+* ``blocking-call-in-async`` — no synchronous blocking calls inside
+  ``async def`` bodies under ``repro/serve/``.  The daemon's whole
+  concurrency story is one event loop shuffling frames while blocking
+  work (graph loading, cache IO, community detection) runs on an
+  executor; a single ``time.sleep``/``open``/``subprocess.run`` on the
+  loop stalls *every* connection — including the ``status`` probes an
+  operator uses to diagnose exactly that stall.  Route blocking work
+  through ``loop.run_in_executor`` (or use ``asyncio.sleep``).
+
+Nested *synchronous* ``def``s inside an async function are exempt: they
+do not run on the loop when called via an executor — which is precisely
+the sanctioned pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.astutil import collect_imports
+from repro.check.engine import FileContext, Finding, Rule, register_rule
+
+__all__ = ["BlockingCallInAsync"]
+
+#: Dotted callables that block the calling thread.
+_BLOCKING_CALLS = {
+    "time.sleep": "use 'await asyncio.sleep(...)' instead",
+    "io.open": "do file IO in a sync helper via loop.run_in_executor",
+    "subprocess.run": "use asyncio.create_subprocess_exec, or run it on the executor",
+    "subprocess.call": "use asyncio.create_subprocess_exec, or run it on the executor",
+    "subprocess.check_call": "use asyncio.create_subprocess_exec, or run it on the executor",
+    "subprocess.check_output": "use asyncio.create_subprocess_exec, or run it on the executor",
+    "subprocess.Popen": "use asyncio.create_subprocess_exec, or run it on the executor",
+    "os.system": "use asyncio.create_subprocess_exec, or run it on the executor",
+}
+
+
+def _async_loop_nodes(tree: ast.AST) -> Iterator[ast.AST]:
+    """Yield every node that executes *on the event loop* inside an
+    ``async def``: the async function's body, minus nested sync ``def``/
+    ``lambda`` bodies (those run wherever they are called — typically an
+    executor thread, the sanctioned home for blocking work)."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.AsyncFunctionDef):
+            continue
+        stack: list[ast.AST] = list(node.body)
+        while stack:
+            current = stack.pop()
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                # Nested async defs are visited by the outer walk; nested
+                # sync defs never run on the loop directly.
+                continue
+            yield current
+            stack.extend(ast.iter_child_nodes(current))
+
+
+class BlockingCallInAsync(Rule):
+    id = "blocking-call-in-async"
+    rationale = (
+        "One synchronous blocking call on the daemon's event loop stalls "
+        "every connection at once (including the status probes used to "
+        "diagnose the stall); blocking work belongs on the executor via "
+        "loop.run_in_executor."
+    )
+    scope = ("repro/serve/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = collect_imports(ctx.tree)
+        open_is_builtin = "open" not in imports.aliases
+        for node in _async_loop_nodes(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve(node.func)
+            if resolved in _BLOCKING_CALLS:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"blocking {resolved}() inside an async def; "
+                    f"{_BLOCKING_CALLS[resolved]}",
+                )
+            elif (
+                open_is_builtin
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "open"
+            ):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "blocking open() inside an async def; do file IO in a "
+                    "sync helper via loop.run_in_executor",
+                )
+
+
+register_rule(BlockingCallInAsync())

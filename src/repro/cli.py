@@ -24,6 +24,13 @@ Commands
     Run the project lint rules (:mod:`repro.check`) over source trees;
     exits non-zero on any finding.  ``--list-rules`` catalogues the
     rules; suppression syntax and rationale live in ``docs/CHECKS.md``.
+``serve``
+    Run the reorder daemon: newline-delimited JSON over a unix socket
+    and/or TCP, with the content-addressed permutation cache, request
+    coalescing, and tenant quotas (``docs/SERVING.md``).
+``client``
+    One-shot client for a running daemon: request a reorder/analysis
+    of a graph file, or print the daemon's status.
 
 ``reorder``/``analyze`` time their work through the span tracer
 (:mod:`repro.obs.trace`); ``--verbose`` prints the per-phase breakdown.
@@ -482,6 +489,67 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.serve.daemon import ServerConfig, run_server
+
+    quotas = None
+    if args.quotas is not None:
+        try:
+            quotas = json.loads(Path(args.quotas).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read quota spec {args.quotas}: {exc}") from exc
+    config = ServerConfig(
+        unix_path=args.socket,
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        cache_memory_entries=args.cache_memory,
+        cache_disk_entries=args.cache_disk,
+        quotas=quotas,
+        ladder_spec=args.ladder,
+        time_budget_s=args.time_budget,
+        merge_threshold=args.merge_threshold,
+        compute_workers=args.workers,
+        drain_timeout_s=args.drain_timeout,
+    )
+    return run_server(config)
+
+
+def _cmd_client(args) -> int:
+    import json
+
+    from repro.serve.client import ServeClient
+
+    with ServeClient(
+        unix_path=args.socket, host=args.host, port=args.port,
+        tenant=args.tenant, timeout_s=args.timeout,
+    ) as client:
+        if args.op == "status":
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        if args.input is None:
+            raise ReproError(f"client {args.op} needs a graph file argument")
+        graph_path = str(Path(args.input).resolve())
+        if args.op == "reorder":
+            response = client.reorder(graph_path=graph_path, full_response=True)
+            print(f"{response['cache']}: {response['n']} vertices "
+                  f"(key {response['key']})")
+            if args.perm_out:
+                _save_permutation(
+                    args.perm_out,
+                    np.asarray(response["permutation"], dtype=np.int64),
+                )
+                print(f"permutation -> {args.perm_out}")
+        else:
+            response = client.analyze(args.op, graph_path=graph_path)
+            print(f"{response['cache']}: {response['n']} vertices "
+                  f"(key {response['key']})")
+            print(json.dumps(response["result"], indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -612,6 +680,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="list registered rules and exit")
     p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser(
+        "serve", help="run the reorder daemon (reorder-as-a-service)"
+    )
+    p.add_argument("--socket", metavar="PATH",
+                   help="unix socket to listen on")
+    p.add_argument("--host", help="TCP host to bind (with --port)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="disk tier of the permutation cache "
+                        "(default: memory-only)")
+    p.add_argument("--cache-memory", type=int, default=128, metavar="N",
+                   help="memory-tier LRU capacity (entries)")
+    p.add_argument("--cache-disk", type=int, default=1024, metavar="N",
+                   help="disk-tier capacity (entries)")
+    p.add_argument("--quotas", metavar="SPEC.json",
+                   help="tenant quota spec file "
+                        '({"default": {"rate": R, "burst": B}, '
+                        '"tenants": {...}})')
+    p.add_argument("--ladder", default="fastseq,dict",
+                   help="degradation ladder for cache-miss computations")
+    p.add_argument("--time-budget", type=float, metavar="SECONDS",
+                   help="per-attempt wall-clock budget for computations")
+    p.add_argument("--merge-threshold", type=float, default=0.0,
+                   help="Rabbit merge threshold (part of the cache key)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="blocking-work executor threads")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="how long shutdown waits for in-flight requests")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "client", help="talk to a running reorder daemon"
+    )
+    p.add_argument("op",
+                   choices=["reorder", "pagerank", "bfs", "components",
+                            "status"],
+                   help="request to send (analyses run on the reordered "
+                        "graph)")
+    p.add_argument("input", nargs="?",
+                   help="graph file (.npz/.graph/.mtx/edge list), resolved "
+                        "to an absolute path the daemon can read")
+    p.add_argument("--socket", metavar="PATH",
+                   help="daemon unix socket")
+    p.add_argument("--host", help="daemon TCP host (with --port)")
+    p.add_argument("--port", type=int, help="daemon TCP port")
+    p.add_argument("--tenant", default="default",
+                   help="tenant the request is charged to")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="request timeout in seconds")
+    p.add_argument("--perm-out", help="(reorder) write pi as .npy")
+    p.set_defaults(fn=_cmd_client)
 
     p = sub.add_parser(
         "bench", help="run a benchmark suite / compare baselines"

@@ -26,6 +26,9 @@ __all__ = [
     "AttemptAbortedError",
     "BudgetExceededError",
     "StallError",
+    "ServeError",
+    "ProtocolError",
+    "QuotaExceededError",
 ]
 
 
@@ -115,3 +118,24 @@ class BudgetExceededError(AttemptAbortedError):
 class StallError(AttemptAbortedError):
     """The progress watchdog saw no forward progress (metrics counters
     frozen) for longer than the configured stall timeout."""
+
+
+class ServeError(ReproError):
+    """The serving layer failed: transport errors, a daemon that cannot
+    bind its endpoint, or an error response from the server."""
+
+
+class ProtocolError(ServeError):
+    """A serve request or response line violates the newline-delimited
+    JSON protocol (not JSON, not an object, unknown op, oversized line,
+    malformed graph payload)."""
+
+
+class QuotaExceededError(ServeError):
+    """A tenant's token bucket is empty; the request was rejected with a
+    429-style response.  ``retry_after_s`` is the earliest time at which
+    one token will be available again."""
+
+    def __init__(self, message: str, *, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)

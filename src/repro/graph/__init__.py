@@ -1,6 +1,7 @@
 """Graph substrate: CSR structure, permutations, builders, I/O, generators."""
 
 from repro.graph.builder import GraphBuilder
+from repro.graph.fingerprint import fingerprint_key, graph_fingerprint
 from repro.graph.npz import load_npz, save_npz
 from repro.graph.ops import as_undirected, in_degrees, out_degrees, reorder_directed
 from repro.graph.csr import CSRGraph, coalesce_edges
@@ -22,6 +23,8 @@ from repro.graph.validate import (
 __all__ = [
     "CSRGraph",
     "GraphBuilder",
+    "graph_fingerprint",
+    "fingerprint_key",
     "save_npz",
     "load_npz",
     "as_undirected",

@@ -28,7 +28,7 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 import numpy as np
 
@@ -44,7 +44,12 @@ from repro.metrics.locality import (
 )
 from repro.obs import trace
 from repro.obs.metrics import counter_delta, get_registry
-from repro.obs.schema import SCHEMA_ID, SCHEMA_VERSION, require_valid_bench
+from repro.obs.schema import (
+    PERCENTILE_LABELS,
+    SCHEMA_ID,
+    SCHEMA_VERSION,
+    require_valid_bench,
+)
 from repro.order.registry import get_algorithm
 
 __all__ = [
@@ -57,6 +62,7 @@ __all__ = [
     "save_bench",
     "load_bench",
     "compare",
+    "percentile_summary",
     "CompareRow",
     "CompareReport",
     "ANALYSES",
@@ -124,7 +130,14 @@ class BenchGraph:
 
 @dataclass(frozen=True)
 class BenchSuite:
-    """A declarative benchmark suite: graphs x orderings x analyses."""
+    """A declarative benchmark suite: graphs x orderings x analyses.
+
+    Suites whose workload is not a graphs×orderings grid (the serve
+    load generator drives a live daemon) set ``runner`` instead: a
+    callable receiving the suite and returning the schema-valid
+    ``results`` list directly.  ``graphs``/``orderings``/``analyses``
+    are then purely descriptive and may be empty.
+    """
 
     name: str
     graphs: tuple[BenchGraph, ...]
@@ -132,6 +145,7 @@ class BenchSuite:
     analyses: tuple[str, ...]
     repeats: int = 1
     description: str = ""
+    runner: Callable[["BenchSuite"], list[dict[str, Any]]] | None = None
 
     def __post_init__(self) -> None:
         unknown = [a for a in self.analyses if a not in ANALYSES]
@@ -213,12 +227,51 @@ register_suite(
 )
 
 
+register_suite(
+    BenchSuite(
+        name="serve",
+        description=(
+            "Reorder-as-a-service latency suite: boots the asyncio "
+            "daemon on a unix socket and drives cold-miss, warm-hit, "
+            "and coalesced request storms through the client, emitting "
+            "p50/p95/p99 per path (docs/SERVING.md)."
+        ),
+        graphs=(),
+        orderings=(),
+        analyses=(),
+        runner=lambda suite: _serve_suite_runner(suite),
+    )
+)
+
+
+def _serve_suite_runner(suite: BenchSuite) -> list[dict[str, Any]]:
+    # Lazy import: repro.serve sits above repro.obs in the layering, so
+    # the suite registration must not pull it in at module level.
+    from repro.serve.loadgen import run_serve_suite
+
+    return run_serve_suite(repeats=suite.repeats)
+
+
 # ---------------------------------------------------------------------------
 # Runner.
 
 
 def _min_duration(spans: list[trace.Span]) -> float:
     return min((s.duration for s in spans), default=0.0)
+
+
+def percentile_summary(samples: "Iterable[float]") -> dict[str, float]:
+    """Exact nearest-rank p50/p95/p99 of *samples* (the ``percentiles``
+    entry format of the v2 bench schema)."""
+    ordered = sorted(float(s) for s in samples)
+    if not ordered:
+        return {label: 0.0 for label in PERCENTILE_LABELS}
+    out = {}
+    for label in PERCENTILE_LABELS:
+        q = float(label[1:])
+        idx = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        out[label] = ordered[idx]
+    return out
 
 
 def _run_cell(
@@ -246,6 +299,15 @@ def _run_cell(
         analysis: _min_duration(cap.find(f"bench.analysis.{analysis}"))
         for analysis in suite.analyses
     }
+    percentiles = {
+        "reorder_s": percentile_summary(
+            s.duration for s in cap.find("bench.reorder")
+        ),
+    }
+    for analysis in suite.analyses:
+        percentiles[f"analysis.{analysis}_s"] = percentile_summary(
+            s.duration for s in cap.find(f"bench.analysis.{analysis}")
+        )
     return {
         "graph": bg.name,
         "num_vertices": int(graph.num_vertices),
@@ -265,6 +327,7 @@ def _run_cell(
             "block_density_64": float(diagonal_block_density(permuted, 64)),
         },
         "counters": counter_delta(counters_before, registry.counter_values()),
+        "percentiles": percentiles,
     }
 
 
@@ -283,12 +346,16 @@ def run_suite(
             analyses=suite.analyses,
             repeats=max(1, repeats),
             description=suite.description,
+            runner=suite.runner,
         )
-    results = []
-    for bg in suite.graphs:
-        graph = bg.build()
-        for ordering in suite.orderings:
-            results.append(_run_cell(suite, bg, graph, ordering))
+    if suite.runner is not None:
+        results = list(suite.runner(suite))
+    else:
+        results = []
+        for bg in suite.graphs:
+            graph = bg.build()
+            for ordering in suite.orderings:
+                results.append(_run_cell(suite, bg, graph, ordering))
     doc = {
         "schema": SCHEMA_ID,
         "schema_version": SCHEMA_VERSION,
@@ -454,6 +521,29 @@ def compare(
                     _time_verdict(b, c, rel_tolerance, abs_floor_s),
                 )
             )
+        # Percentile rows exist only when both documents carry them (v2
+        # runners): a v1 baseline never gates percentiles, so the
+        # schema bump cannot fail old committed files.
+        base_pct = base.get("percentiles") or {}
+        cur_pct = cur.get("percentiles") or {}
+        for metric in sorted(base_pct.keys() & cur_pct.keys()):
+            for label in PERCENTILE_LABELS:
+                b = base_pct[metric].get(label)
+                c = cur_pct[metric].get(label)
+                if b is None or c is None:
+                    continue
+                report.rows.append(
+                    CompareRow(
+                        graph,
+                        ordering,
+                        f"{metric}.{label}",
+                        float(b),
+                        float(c),
+                        _time_verdict(
+                            float(b), float(c), rel_tolerance, abs_floor_s
+                        ),
+                    )
+                )
         b_gap = base["locality"].get("average_neighbor_gap")
         c_gap = cur["locality"].get("average_neighbor_gap")
         if b_gap is not None and c_gap is not None:

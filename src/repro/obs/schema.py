@@ -33,9 +33,20 @@ Each ``<result>`` is one (graph, ordering) cell::
       "counters": {"rabbit.merges": 200.0, ...}  # registry delta
     }
 
+Version 2 adds an optional per-result ``percentiles`` object — latency
+percentiles per metric, emitted whenever a runner has more than one
+sample per cell (``repeats > 1``, or the serve load generator's
+per-request latencies)::
+
+    "percentiles": {
+      "reorder_s": {"p50": 0.01, "p95": 0.013, "p99": 0.02},
+      ...
+    }
+
 Any schema change bumps ``schema_version`` (and the ``/N`` suffix of the
 schema id) and must keep :func:`validate_bench` able to reject older
-majors with a clear message.
+majors with a clear message.  Version 1 documents (no ``percentiles``)
+remain valid — committed baselines never rot out of the gate.
 """
 
 from __future__ import annotations
@@ -47,12 +58,21 @@ from repro.errors import BenchFormatError
 __all__ = [
     "SCHEMA_ID",
     "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
+    "PERCENTILE_LABELS",
     "validate_bench",
     "require_valid_bench",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 SCHEMA_ID = f"repro.bench/{SCHEMA_VERSION}"
+
+#: Older schema versions this build still reads (``compare`` accepts a
+#: v1 baseline against a v2 run; only the shared fields are judged).
+SUPPORTED_VERSIONS = (1, 2)
+
+#: The percentile labels a ``percentiles`` entry must carry.
+PERCENTILE_LABELS = ("p50", "p95", "p99")
 
 _REQUIRED_TOP = {
     "schema": str,
@@ -128,6 +148,41 @@ def _validate_result(errors: list[str], i: int, result: Any) -> None:
     for key in ("spans", "locality", "counters"):
         if isinstance(result.get(key), dict):
             _check_number_map(errors, f"{where}.{key}", result[key])
+    percentiles = result.get("percentiles")
+    if percentiles is not None:
+        _validate_percentiles(errors, f"{where}.percentiles", percentiles)
+
+
+def _validate_percentiles(errors: list[str], where: str, percentiles: Any) -> None:
+    if not isinstance(percentiles, dict):
+        errors.append(
+            f"{where}: expected an object, got {type(percentiles).__name__}"
+        )
+        return
+    for metric, labels in percentiles.items():
+        if not isinstance(metric, str):
+            errors.append(f"{where}: non-string metric key {metric!r}")
+            continue
+        if not isinstance(labels, dict):
+            errors.append(
+                f"{where}[{metric!r}]: expected an object of "
+                f"{'/'.join(PERCENTILE_LABELS)}, got {type(labels).__name__}"
+            )
+            continue
+        for label in PERCENTILE_LABELS:
+            if label not in labels:
+                errors.append(f"{where}[{metric!r}]: missing {label!r}")
+        for label, value in labels.items():
+            if label not in PERCENTILE_LABELS:
+                errors.append(
+                    f"{where}[{metric!r}]: unknown percentile label {label!r} "
+                    f"(expected {', '.join(PERCENTILE_LABELS)})"
+                )
+            elif not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(
+                    f"{where}[{metric!r}].{label}: expected a number, "
+                    f"got {value!r}"
+                )
 
 
 def validate_bench(doc: Any) -> list[str]:
@@ -145,17 +200,28 @@ def validate_bench(doc: Any) -> list[str]:
                 f"{typ if isinstance(typ, tuple) else typ.__name__}, "
                 f"got {type(doc[key]).__name__}"
             )
-    if isinstance(doc.get("schema"), str) and doc["schema"] != SCHEMA_ID:
+    supported_ids = tuple(f"repro.bench/{v}" for v in SUPPORTED_VERSIONS)
+    if isinstance(doc.get("schema"), str) and doc["schema"] not in supported_ids:
         errors.append(
-            f"document.schema: expected {SCHEMA_ID!r}, got {doc['schema']!r}"
+            f"document.schema: expected one of {', '.join(supported_ids)}, "
+            f"got {doc['schema']!r}"
+        )
+    version = doc.get("schema_version")
+    if isinstance(version, int) and version not in SUPPORTED_VERSIONS:
+        errors.append(
+            f"document.schema_version: expected one of "
+            f"{', '.join(str(v) for v in SUPPORTED_VERSIONS)}, got {version}"
         )
     if (
-        isinstance(doc.get("schema_version"), int)
-        and doc["schema_version"] != SCHEMA_VERSION
+        isinstance(doc.get("schema"), str)
+        and isinstance(version, int)
+        and doc["schema"] in supported_ids
+        and version in SUPPORTED_VERSIONS
+        and doc["schema"] != f"repro.bench/{version}"
     ):
         errors.append(
-            f"document.schema_version: expected {SCHEMA_VERSION}, "
-            f"got {doc['schema_version']}"
+            f"document.schema {doc['schema']!r} disagrees with "
+            f"schema_version {version}"
         )
     env = doc.get("environment")
     if isinstance(env, dict):

@@ -48,6 +48,7 @@ from typing import Any, Callable, Iterable, Iterator
 import numpy as np
 
 from repro.errors import CheckpointError
+from repro.graph.fingerprint import graph_fingerprint
 from repro.ioutil import atomic_write_bytes
 from repro.parallel.atomics import INVALID_DEGREE
 
@@ -242,34 +243,9 @@ def pack_adjacency(
 
 # ---------------------------------------------------------------------------
 # Fingerprinting: reject checkpoints from a different run configuration.
-
-
-def graph_fingerprint(
-    graph,
-    *,
-    merge_threshold: float = 0.0,
-    visit: str = "degree",
-    visit_rng: int | None = 0,
-) -> dict[str, Any]:
-    """Identity of the detection *problem* (not the engine solving it).
-
-    Engines may change across a resume (that is the degradation ladder's
-    whole point); the graph and the decision parameters may not — a
-    checkpoint for a different graph or threshold must be rejected as
-    stale rather than silently producing a plausible-looking hybrid.
-    """
-    crc = zlib.crc32(np.ascontiguousarray(graph.indptr).tobytes())
-    crc = zlib.crc32(np.ascontiguousarray(graph.indices).tobytes(), crc)
-    if graph.weights is not None:
-        crc = zlib.crc32(np.ascontiguousarray(graph.weights).tobytes(), crc)
-    return {
-        "n": int(graph.num_vertices),
-        "edges": int(graph.num_edges),
-        "graph_crc32": int(crc),
-        "merge_threshold": float(merge_threshold),
-        "visit": str(visit),
-        "visit_rng": None if visit_rng is None else int(visit_rng),
-    }
+# The fingerprint itself lives in repro.graph.fingerprint (shared with
+# the serving cache); graph_fingerprint is re-exported here so existing
+# importers keep working.
 
 
 def require_fingerprint_match(

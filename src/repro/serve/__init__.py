@@ -1,0 +1,31 @@
+"""Reorder-as-a-service: the daemon, its protocol, and its clients.
+
+Reordering pays off only when its cost is amortised over repeated
+analyses — this package amortises it across *processes and machines*: a
+long-lived asyncio daemon (:mod:`repro.serve.daemon`) computes each
+permutation at most once, keyed by the content-addressed graph
+fingerprint (:mod:`repro.graph.fingerprint`), with an in-memory +
+on-disk cache (:mod:`repro.serve.cache`), coalescing of identical
+in-flight requests, and per-tenant token-bucket admission control
+(:mod:`repro.serve.quotas`).  :mod:`repro.serve.client` is the
+synchronous client library; :mod:`repro.serve.loadgen` drives the
+latency bench suite (``BENCH_serve.json``).
+
+See ``docs/SERVING.md`` for the protocol and operational semantics.
+"""
+
+from repro.serve.cache import PermutationCache
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ReorderServer, ServerConfig, ServerThread, run_server
+from repro.serve.quotas import TenantQuota, TokenBucketQuotas
+
+__all__ = [
+    "PermutationCache",
+    "ReorderServer",
+    "ServeClient",
+    "ServerConfig",
+    "ServerThread",
+    "TenantQuota",
+    "TokenBucketQuotas",
+    "run_server",
+]

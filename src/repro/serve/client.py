@@ -1,0 +1,176 @@
+"""Synchronous client for the reorder daemon.
+
+Deliberately boring: one socket, blocking line IO, no asyncio — the
+common consumer is a script or a test that wants a permutation, not an
+event loop.  Speaks the protocol of :mod:`repro.serve.protocol` over a
+unix socket or TCP, raising the matching :mod:`repro.errors` class for
+error responses (:class:`~repro.errors.QuotaExceededError` for 429s,
+:class:`~repro.errors.ServeError` otherwise).
+
+::
+
+    with ServeClient(unix_path="/run/reorder.sock", tenant="team-a") as c:
+        perm = c.reorder(edges=[(0, 1), (1, 2)])
+        stats = c.status()
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ProtocolError, QuotaExceededError, ServeError
+from repro.serve import protocol
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One connection to a reorder daemon.  Not thread-safe (requests on
+    one connection are serialised by the protocol); open one client per
+    thread."""
+
+    def __init__(
+        self,
+        *,
+        unix_path: str | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        tenant: str = "default",
+        timeout_s: float = 60.0,
+    ):
+        if (unix_path is None) == (host is None):
+            raise ServeError(
+                "client needs exactly one of unix_path or host/port"
+            )
+        self.tenant = tenant
+        if unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout_s)
+            try:
+                self._sock.connect(unix_path)
+            except OSError as exc:
+                self._sock.close()
+                raise ServeError(
+                    f"cannot connect to daemon at {unix_path}: {exc}"
+                ) from exc
+        else:
+            if port is None:
+                raise ServeError("TCP client needs a port")
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout_s
+                )
+            except OSError as exc:
+                raise ServeError(
+                    f"cannot connect to daemon at {host}:{port}: {exc}"
+                ) from exc
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- transport -------------------------------------------------------
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one request, return the raw response object (``ok`` true
+        or false — no exception mapping; the convenience wrappers below
+        do that)."""
+        self._next_id += 1
+        message: dict[str, Any] = {
+            "op": op, "id": self._next_id, "tenant": self.tenant,
+        }
+        message.update(fields)
+        try:
+            self._file.write(protocol.encode_message(message))
+            self._file.flush()
+            line = self._file.readline(protocol.MAX_LINE_BYTES + 2)
+        except OSError as exc:
+            raise ServeError(f"daemon connection failed: {exc}") from exc
+        if not line:
+            raise ServeError("daemon closed the connection mid-request")
+        response = protocol.decode_message(line)
+        if response.get("id") != message["id"]:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {message['id']}"
+            )
+        return response
+
+    def _checked(self, op: str, **fields: Any) -> dict[str, Any]:
+        response = self.request(op, **fields)
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        code = error.get("code")
+        message = error.get("message", json.dumps(error))
+        if code == protocol.QUOTA_EXCEEDED:
+            raise QuotaExceededError(
+                message, retry_after_s=float(error.get("retry_after_s", 0.0))
+            )
+        raise ServeError(f"daemon error {code}: {message}")
+
+    # -- convenience verbs -----------------------------------------------
+    @staticmethod
+    def _graph_fields(
+        edges: Iterable[Sequence[float]] | None,
+        num_vertices: int | None,
+        graph_path: str | None,
+    ) -> dict[str, Any]:
+        if (edges is None) == (graph_path is None):
+            raise ServeError("pass exactly one of edges= or graph_path=")
+        if graph_path is not None:
+            return {"graph_path": graph_path}
+        graph: dict[str, Any] = {"edges": [list(e) for e in edges]}
+        if num_vertices is not None:
+            graph["num_vertices"] = num_vertices
+        return {"graph": graph}
+
+    def reorder(
+        self,
+        *,
+        edges: Iterable[Sequence[float]] | None = None,
+        num_vertices: int | None = None,
+        graph_path: str | None = None,
+        full_response: bool = False,
+    ):
+        """Request the Rabbit Order permutation of a graph.
+
+        Returns the permutation as a list of ints (``perm[old] = new``),
+        or the whole response object when *full_response* (which carries
+        ``cache``: ``memory``/``disk``/``computed``/``coalesced``)."""
+        fields = self._graph_fields(edges, num_vertices, graph_path)
+        response = self._checked("reorder", **fields)
+        return response if full_response else response["permutation"]
+
+    def analyze(
+        self,
+        analysis: str,
+        *,
+        edges: Iterable[Sequence[float]] | None = None,
+        num_vertices: int | None = None,
+        graph_path: str | None = None,
+        include_permutation: bool = False,
+    ) -> dict[str, Any]:
+        """Reorder (through the cache) and run *analysis* on the
+        reordered graph; returns the full response object."""
+        fields = self._graph_fields(edges, num_vertices, graph_path)
+        return self._checked(
+            "analyze", analysis=analysis,
+            include_permutation=include_permutation, **fields,
+        )
+
+    def status(self) -> dict[str, Any]:
+        """Daemon status: uptime, cache stats, counters, drain state."""
+        return self._checked("status")
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

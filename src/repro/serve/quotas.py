@@ -1,0 +1,135 @@
+"""Per-tenant admission control: classic token buckets.
+
+Each tenant owns a bucket of ``burst`` tokens refilled continuously at
+``rate`` tokens/second.  A request costs one token; an empty bucket is a
+429-style rejection carrying ``retry_after_s`` — the exact time until
+one token exists again — so well-behaved clients can back off precisely
+instead of hammering the daemon.
+
+The clock is injectable (any monotonic ``() -> float``), which makes
+refill behaviour exactly testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import QuotaExceededError, ServeError
+
+__all__ = ["TenantQuota", "TokenBucketQuotas"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Bucket shape: sustained ``rate`` requests/second, ``burst`` deep."""
+
+    rate: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise ServeError(f"quota rate must be > 0, got {self.rate}")
+        if self.burst < 1.0:
+            raise ServeError(f"quota burst must be >= 1, got {self.burst}")
+
+
+class TokenBucketQuotas:
+    """Token buckets for every tenant the daemon has seen.
+
+    ``default`` is the quota applied to tenants without an explicit
+    entry in ``tenants``; ``default=None`` means unknown tenants are
+    unlimited (the out-of-the-box configuration — quotas are opt-in).
+    Thread-safe: charged from daemon executor threads.
+    """
+
+    def __init__(
+        self,
+        default: TenantQuota | None = None,
+        tenants: dict[str, TenantQuota] | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.default = default
+        self.tenants = dict(tenants or {})
+        self._clock = clock
+        self._buckets: dict[str, tuple[float, float]] = {}  # tenant -> (tokens, stamp)
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_spec(cls, spec: dict[str, Any] | None, **kwargs: Any) -> "TokenBucketQuotas":
+        """Build from a JSON-shaped spec::
+
+            {"default": {"rate": 10, "burst": 20},
+             "tenants": {"team-a": {"rate": 1, "burst": 2}}}
+
+        Either section may be omitted; ``None`` means no quotas at all.
+        """
+        if spec is None:
+            return cls(**kwargs)
+        if not isinstance(spec, dict):
+            raise ServeError(f"quota spec must be an object, got {type(spec).__name__}")
+        unknown = set(spec) - {"default", "tenants"}
+        if unknown:
+            raise ServeError(
+                f"unknown quota spec keys: {', '.join(sorted(unknown))}"
+            )
+        default = None
+        if spec.get("default") is not None:
+            default = cls._quota_from(spec["default"], "default")
+        tenants: dict[str, TenantQuota] = {}
+        for name, entry in (spec.get("tenants") or {}).items():
+            tenants[name] = cls._quota_from(entry, f"tenants[{name!r}]")
+        return cls(default=default, tenants=tenants, **kwargs)
+
+    @staticmethod
+    def _quota_from(entry: Any, where: str) -> TenantQuota:
+        if not isinstance(entry, dict) or set(entry) != {"rate", "burst"}:
+            raise ServeError(
+                f"quota {where} must be an object with exactly "
+                f"'rate' and 'burst', got {entry!r}"
+            )
+        try:
+            return TenantQuota(rate=float(entry["rate"]), burst=float(entry["burst"]))
+        except (TypeError, ValueError) as exc:
+            raise ServeError(f"quota {where} is malformed: {exc}") from exc
+
+    def quota_for(self, tenant: str) -> TenantQuota | None:
+        return self.tenants.get(tenant, self.default)
+
+    def check(self, tenant: str) -> None:
+        """Charge one token to *tenant*'s bucket.
+
+        Raises :class:`~repro.errors.QuotaExceededError` (with
+        ``retry_after_s``) when the bucket is empty; a tenant without a
+        quota always passes.
+        """
+        quota = self.quota_for(tenant)
+        if quota is None:
+            return
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.get(tenant, (quota.burst, now))
+            tokens = min(quota.burst, tokens + (now - stamp) * quota.rate)
+            if tokens < 1.0:
+                self._buckets[tenant] = (tokens, now)
+                retry_after_s = (1.0 - tokens) / quota.rate
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} is over quota "
+                    f"(rate={quota.rate}/s, burst={quota.burst:g}); "
+                    f"retry in {retry_after_s:.3f}s",
+                    retry_after_s=retry_after_s,
+                )
+            self._buckets[tenant] = (tokens - 1.0, now)
+
+    def tokens(self, tenant: str) -> float | None:
+        """Current token balance (refilled to now); ``None`` if unlimited."""
+        quota = self.quota_for(tenant)
+        if quota is None:
+            return None
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.get(tenant, (quota.burst, now))
+            return min(quota.burst, tokens + (now - stamp) * quota.rate)

@@ -393,3 +393,93 @@ class TestUnsupervisedProcess:
             "pool = ThreadPoolExecutor(2)\n"
         )
         assert findings(tmp_path, src, self.RULE) == []
+
+
+class TestBlockingCallInAsync:
+    RULE = "blocking-call-in-async"
+    NAME = "repro/serve/handler.py"
+
+    def test_flags_time_sleep_in_async_def(self, tmp_path):
+        src = (
+            "import time\n"
+            "async def handle():\n"
+            "    time.sleep(1)\n"
+        )
+        found = findings(tmp_path, src, self.RULE, name=self.NAME)
+        assert len(found) == 1
+        assert "asyncio.sleep" in found[0].message
+        assert found[0].line == 3
+
+    def test_flags_builtin_open_and_subprocess(self, tmp_path):
+        src = (
+            "import subprocess\n"
+            "async def handle(path):\n"
+            "    data = open(path).read()\n"
+            "    subprocess.run(['ls'])\n"
+        )
+        assert len(findings(tmp_path, src, self.RULE, name=self.NAME)) == 2
+
+    def test_flags_aliased_import(self, tmp_path):
+        src = (
+            "import time as t\n"
+            "async def handle():\n"
+            "    t.sleep(0.1)\n"
+        )
+        assert len(findings(tmp_path, src, self.RULE, name=self.NAME)) == 1
+
+    def test_clean_on_sync_function(self, tmp_path):
+        src = (
+            "import time\n"
+            "def compute():\n"
+            "    time.sleep(1)\n"
+        )
+        assert findings(tmp_path, src, self.RULE, name=self.NAME) == []
+
+    def test_clean_on_nested_sync_helper(self, tmp_path):
+        # The sanctioned pattern: blocking work in a sync closure handed
+        # to the executor never runs on the loop.
+        src = (
+            "import asyncio, time\n"
+            "async def handle():\n"
+            "    loop = asyncio.get_running_loop()\n"
+            "    def work():\n"
+            "        time.sleep(1)\n"
+            "        return open('/etc/hostname').read()\n"
+            "    return await loop.run_in_executor(None, work)\n"
+        )
+        assert findings(tmp_path, src, self.RULE, name=self.NAME) == []
+
+    def test_clean_on_asyncio_sleep(self, tmp_path):
+        src = (
+            "import asyncio\n"
+            "async def handle():\n"
+            "    await asyncio.sleep(1)\n"
+        )
+        assert findings(tmp_path, src, self.RULE, name=self.NAME) == []
+
+    def test_clean_when_open_is_shadowed(self, tmp_path):
+        src = (
+            "from gzip import open\n"
+            "async def handle(p):\n"
+            "    return open(p)\n"
+        )
+        assert findings(tmp_path, src, self.RULE, name=self.NAME) == []
+
+    def test_scope_excludes_non_serve_files(self, tmp_path):
+        src = (
+            "import time\n"
+            "async def handle():\n"
+            "    time.sleep(1)\n"
+        )
+        assert (
+            findings(tmp_path, src, self.RULE, name="repro/rabbit/mod.py")
+            == []
+        )
+
+    def test_suppression_pragma(self, tmp_path):
+        src = (
+            "import time\n"
+            "async def handle():\n"
+            "    time.sleep(1)  # repro: ignore[blocking-call-in-async] startup probe\n"
+        )
+        assert findings(tmp_path, src, self.RULE, name=self.NAME) == []

@@ -19,7 +19,7 @@ class TestSelfHost:
 
     def test_every_registered_rule_ran(self):
         report = run_check([REPO_ROOT / "src"])
-        assert len(report.rules_run) == 12
+        assert len(report.rules_run) == 13
         assert report.files_checked > 90
 
     def test_intentional_suppressions_carry_justifications(self):

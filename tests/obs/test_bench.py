@@ -215,3 +215,77 @@ class TestCLI:
 
         assert main(["bench", "--against", str(tmp_path / "x.json")]) == 2
         assert "--compare" in capsys.readouterr().err
+
+
+class TestPercentiles:
+    """Schema v2: per-cell latency percentiles (p50/p95/p99)."""
+
+    def test_percentile_summary_nearest_rank(self):
+        # Same index convention as obs.metrics.Histogram.percentile:
+        # round(q/100 * (n-1)) into the sorted samples.
+        samples = [float(i) for i in range(1, 101)]
+        summary = bench.percentile_summary(samples)
+        assert summary == {"p50": 51.0, "p95": 95.0, "p99": 99.0}
+        assert summary["p95"] == sorted(samples)[round(0.95 * 99)]
+
+    def test_percentile_summary_single_sample(self):
+        assert bench.percentile_summary([0.25]) == {
+            "p50": 0.25, "p95": 0.25, "p99": 0.25,
+        }
+
+    def test_percentile_summary_empty(self):
+        assert bench.percentile_summary([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_run_suite_emits_percentiles(self, smoke_doc):
+        for result in smoke_doc["results"]:
+            assert "percentiles" in result
+            pct = result["percentiles"]["reorder_s"]
+            assert set(pct) == {"p50", "p95", "p99"}
+            assert pct["p50"] <= pct["p95"] <= pct["p99"]
+
+    def test_v1_documents_still_validate(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        doc["schema"] = "repro.bench/1"
+        doc["schema_version"] = 1
+        for result in doc["results"]:
+            del result["percentiles"]
+        assert validate_bench(doc) == []
+
+    def test_schema_version_must_match_schema_id(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        doc["schema"] = "repro.bench/1"  # still claims v2 in schema_version
+        errors = validate_bench(doc)
+        assert any("disagrees" in e for e in errors)
+
+    def test_unknown_version_rejected(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        doc["schema"] = "repro.bench/99"
+        doc["schema_version"] = 99
+        assert validate_bench(doc)
+
+    def test_malformed_percentiles_rejected(self, smoke_doc):
+        doc = copy.deepcopy(smoke_doc)
+        doc["results"][0]["percentiles"] = {"reorder_s": {"p50": "slow"}}
+        errors = validate_bench(doc)
+        assert any("p50" in e for e in errors)
+        assert any("missing 'p95'" in e for e in errors)
+
+    def test_compare_judges_percentiles_when_both_sides_have_them(self, smoke_doc):
+        slow = copy.deepcopy(smoke_doc)
+        for r in slow["results"]:
+            for labels in r["percentiles"].values():
+                for label in labels:
+                    labels[label] = labels[label] * 10 + 1.0
+        report = bench.compare(smoke_doc, slow)
+        assert not report.ok
+        assert any(".p95" in r.metric for r in report.regressions)
+
+    def test_compare_v1_baseline_has_no_percentile_rows(self, smoke_doc):
+        v1 = copy.deepcopy(smoke_doc)
+        v1["schema"] = "repro.bench/1"
+        v1["schema_version"] = 1
+        for result in v1["results"]:
+            del result["percentiles"]
+        report = bench.compare(v1, smoke_doc)
+        assert report.ok
+        assert not any("p95" in r.metric for r in report.rows)

@@ -1,0 +1,278 @@
+"""End-to-end daemon tests: the tentpole acceptance criteria.
+
+* two concurrent clients on the same unseen graph → exactly one
+  detection run (``serve.coalesced`` == 1), both receive bit-identical
+  permutations matching a direct :func:`~repro.rabbit.order.rabbit_order`;
+* a restarted daemon serves the same graph from the disk cache without
+  recomputing;
+* a poisoned disk entry triggers a recompute, not a 500;
+* quotas reject with 429 + ``retry_after_s``; draining rejects with 503;
+  malformed requests with 400; unknown ops/analyses with 404.
+
+The daemon runs in-process (:class:`~repro.serve.daemon.ServerThread`)
+over a unix socket, so ``serve.*`` counters land in this process's
+metrics registry and every assertion can use exact counter deltas.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import QuotaExceededError, ServeError
+from repro.obs.metrics import counter_delta, get_registry
+from repro.serve.cache import entry_path
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServerConfig, ServerThread
+
+EDGES = [
+    [0, 1], [1, 2], [2, 0], [2, 3], [3, 4], [4, 5], [5, 3],
+    [0, 6], [6, 7], [7, 0], [5, 6],
+]
+
+
+def direct_permutation(edges=EDGES):
+    from repro.graph.csr import CSRGraph
+    from repro.rabbit.order import rabbit_order
+
+    graph = CSRGraph.from_edges(
+        [e[0] for e in edges], [e[1] for e in edges], symmetrize=True
+    )
+    return [int(v) for v in rabbit_order(graph).permutation]
+
+
+def _counters():
+    return get_registry().counter_values("serve.")
+
+
+def _delta(before):
+    return counter_delta(before, _counters())
+
+
+@pytest.fixture
+def sock(tmp_path):
+    return str(tmp_path / "daemon.sock")
+
+
+class TestReorder:
+    def test_cold_then_warm(self, tmp_path, sock):
+        config = ServerConfig(unix_path=sock, cache_dir=str(tmp_path / "c"))
+        with ServerThread(config), ServeClient(unix_path=sock) as client:
+            first = client.reorder(edges=EDGES, full_response=True)
+            assert first["cache"] == "computed"
+            assert first["permutation"] == direct_permutation()
+            second = client.reorder(edges=EDGES, full_response=True)
+            assert second["cache"] == "memory"
+            assert second["permutation"] == first["permutation"]
+            assert second["key"] == first["key"]
+
+    def test_two_concurrent_clients_coalesce(self, sock):
+        """The acceptance criterion: one run, coalesced counter == 1,
+        bit-identical permutations for both clients."""
+        config = ServerConfig(
+            unix_path=sock, cache_dir=None, compute_delay_s=0.5
+        )
+        with ServerThread(config):
+            # Connect both clients first so the two requests are fired
+            # as close to simultaneously as threads allow.
+            clients = [ServeClient(unix_path=sock) for _ in range(2)]
+            barrier = threading.Barrier(2)
+            results = [None, None]
+
+            def fire(i):
+                barrier.wait()
+                results[i] = clients[i].reorder(
+                    edges=EDGES, full_response=True
+                )
+
+            before = _counters()
+            threads = [
+                threading.Thread(target=fire, args=(i,)) for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for c in clients:
+                c.close()
+            delta = _delta(before)
+            assert delta.get("serve.compute.runs") == 1
+            assert delta.get("serve.coalesced") == 1
+            assert sorted(r["cache"] for r in results) == [
+                "coalesced", "computed",
+            ]
+            expected = direct_permutation()
+            assert results[0]["permutation"] == expected
+            assert results[1]["permutation"] == expected
+
+    def test_restart_serves_from_disk_without_recompute(self, tmp_path, sock):
+        cache_dir = str(tmp_path / "cache")
+        config = ServerConfig(unix_path=sock, cache_dir=cache_dir)
+        with ServerThread(config), ServeClient(unix_path=sock) as client:
+            first = client.reorder(edges=EDGES, full_response=True)
+        # Fresh daemon, same disk tier: cold memory, warm disk.
+        with ServerThread(ServerConfig(unix_path=sock, cache_dir=cache_dir)):
+            before = _counters()
+            with ServeClient(unix_path=sock) as client:
+                again = client.reorder(edges=EDGES, full_response=True)
+            delta = _delta(before)
+            assert again["cache"] == "disk"
+            assert again["permutation"] == first["permutation"]
+            assert delta.get("serve.compute.runs") is None  # zero delta
+            assert delta.get("serve.cache.hit.disk") == 1
+
+    def test_poisoned_disk_entry_triggers_recompute_not_500(
+        self, tmp_path, sock
+    ):
+        cache_dir = tmp_path / "cache"
+        config = ServerConfig(unix_path=sock, cache_dir=str(cache_dir))
+        with ServerThread(config), ServeClient(unix_path=sock) as client:
+            first = client.reorder(edges=EDGES, full_response=True)
+        # Bit-flip the stored entry's payload.
+        path = entry_path(cache_dir, first["key"])
+        raw = bytearray(path.read_bytes())
+        raw[-4] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with ServerThread(ServerConfig(unix_path=sock, cache_dir=str(cache_dir))):
+            before = _counters()
+            with ServeClient(unix_path=sock) as client:
+                again = client.reorder(edges=EDGES, full_response=True)
+            delta = _delta(before)
+            assert again["cache"] == "computed"  # recomputed, no error
+            assert again["permutation"] == first["permutation"]
+            assert delta.get("serve.cache.corrupt") == 1
+            assert delta.get("serve.compute.runs") == 1
+
+    def test_distinct_graphs_distinct_keys(self, sock):
+        config = ServerConfig(unix_path=sock)
+        with ServerThread(config), ServeClient(unix_path=sock) as client:
+            a = client.reorder(edges=EDGES, full_response=True)
+            b = client.reorder(
+                edges=EDGES + [[1, 7]], full_response=True
+            )
+            assert a["key"] != b["key"]
+            assert b["cache"] == "computed"
+
+
+class TestAnalyzeAndStatus:
+    def test_analyze_runs_on_reordered_graph(self, sock):
+        config = ServerConfig(unix_path=sock)
+        with ServerThread(config), ServeClient(unix_path=sock) as client:
+            response = client.analyze("pagerank", edges=EDGES)
+            assert response["analysis"] == "pagerank"
+            assert response["result"]["converged"] is True
+            assert "permutation" not in response  # not requested
+            comp = client.analyze("components", edges=EDGES)
+            assert comp["result"]["num_components"] == 1
+
+    def test_analyze_can_include_permutation(self, sock):
+        config = ServerConfig(unix_path=sock)
+        with ServerThread(config), ServeClient(unix_path=sock) as client:
+            response = client.analyze(
+                "bfs", edges=EDGES, include_permutation=True
+            )
+            assert response["permutation"] == direct_permutation()
+
+    def test_status(self, sock):
+        config = ServerConfig(unix_path=sock)
+        with ServerThread(config), ServeClient(unix_path=sock) as client:
+            client.reorder(edges=EDGES)
+            status = client.status()
+            assert status["draining"] is False
+            assert status["uptime_s"] >= 0.0
+            assert status["cache"]["memory_entries"] == 1
+            assert status["counters"]["serve.compute.runs"] >= 1.0
+
+
+class TestRejections:
+    def test_quota_429_with_retry_after(self, sock):
+        config = ServerConfig(
+            unix_path=sock,
+            quotas={"tenants": {"limited": {"rate": 0.01, "burst": 1}}},
+        )
+        with ServerThread(config):
+            with ServeClient(unix_path=sock, tenant="limited") as client:
+                client.reorder(edges=EDGES)  # burst token
+                with pytest.raises(QuotaExceededError) as excinfo:
+                    client.reorder(edges=EDGES)
+                assert excinfo.value.retry_after_s > 0.0
+            # Other tenants are untouched (no default quota configured).
+            with ServeClient(unix_path=sock, tenant="other") as client:
+                client.reorder(edges=EDGES)
+
+    def test_status_is_not_charged(self, sock):
+        config = ServerConfig(
+            unix_path=sock,
+            quotas={"default": {"rate": 0.01, "burst": 1}},
+        )
+        with ServerThread(config), ServeClient(unix_path=sock) as client:
+            for _ in range(5):
+                client.status()
+            client.reorder(edges=EDGES)  # the burst token is still there
+
+    def test_draining_rejects_work_but_answers_status(self, sock):
+        config = ServerConfig(unix_path=sock)
+        with ServerThread(config) as server, ServeClient(unix_path=sock) as client:
+            server._draining = True  # drain mode without closing listeners
+            with pytest.raises(ServeError, match="draining"):
+                client.reorder(edges=EDGES)
+            assert client.status()["draining"] is True
+            server._draining = False
+            client.reorder(edges=EDGES)
+
+    def test_malformed_json_is_400(self, sock):
+        import socket as socketlib
+
+        config = ServerConfig(unix_path=sock)
+        with ServerThread(config):
+            raw = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+            raw.settimeout(10.0)
+            raw.connect(sock)
+            with raw, raw.makefile("rwb") as stream:
+                stream.write(b"{this is not json\n")
+                stream.flush()
+                import json
+
+                response = json.loads(stream.readline())
+                assert response["ok"] is False
+                assert response["error"]["code"] == 400
+
+    def test_unknown_op_is_404(self, sock):
+        config = ServerConfig(unix_path=sock)
+        with ServerThread(config), ServeClient(unix_path=sock) as client:
+            response = client.request("transmogrify")
+            assert response["error"]["code"] == 404
+            assert "unknown op" in response["error"]["message"]
+
+    def test_unknown_analysis_is_404(self, sock):
+        config = ServerConfig(unix_path=sock)
+        with ServerThread(config), ServeClient(unix_path=sock) as client:
+            response = client.request("analyze", analysis="quantum")
+            assert response["error"]["code"] == 404
+
+    def test_bad_graph_payload_is_400(self, sock):
+        config = ServerConfig(unix_path=sock)
+        with ServerThread(config), ServeClient(unix_path=sock) as client:
+            response = client.request("reorder", graph={"edges": [[0]]})
+            assert response["error"]["code"] == 400
+
+    def test_stale_socket_file_is_replaced(self, tmp_path, sock):
+        from pathlib import Path
+
+        Path(sock).touch()  # simulate a crashed daemon's leftover socket
+        config = ServerConfig(unix_path=sock)
+        with ServerThread(config), ServeClient(unix_path=sock) as client:
+            client.status()
+
+
+class TestConfigValidation:
+    def test_needs_an_endpoint(self):
+        with pytest.raises(ServeError, match="listen"):
+            ServerConfig()
+
+    def test_rejects_bad_workers(self, sock):
+        with pytest.raises(ServeError, match="compute_workers"):
+            ServerConfig(unix_path=sock, compute_workers=0)
+
+    def test_rejects_negative_drain_timeout(self, sock):
+        with pytest.raises(ServeError, match="drain_timeout"):
+            ServerConfig(unix_path=sock, drain_timeout_s=-1.0)

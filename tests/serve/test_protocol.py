@@ -1,0 +1,143 @@
+"""Wire-protocol framing, request validation, and graph materialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve import protocol
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "status", "id": 7, "tenant": "t"}
+        line = protocol.encode_message(message)
+        assert line.endswith(b"\n")
+        assert protocol.decode_message(line) == message
+
+    def test_encode_is_compact_and_sorted(self):
+        line = protocol.encode_message({"b": 1, "a": 2})
+        assert line == b'{"a":2,"b":1}\n'
+
+    def test_encode_rejects_unserialisable(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_message({"x": object()})
+
+    def test_encode_rejects_oversized(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_LINE_BYTES", 16)
+        with pytest.raises(ProtocolError, match="ceiling"):
+            protocol.encode_message({"data": "y" * 64})
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            protocol.decode_message(b"{nope\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="object"):
+            protocol.decode_message(b"[1, 2]\n")
+
+    def test_decode_rejects_non_utf8(self):
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            protocol.decode_message(b'{"a": "\xff"}\n')
+
+    def test_decode_accepts_str(self):
+        assert protocol.decode_message('{"op": "status"}') == {"op": "status"}
+
+
+class TestParseRequest:
+    def test_valid_ops(self):
+        for op in protocol.OPS:
+            message = {"op": op, "analysis": "pagerank"}
+            assert protocol.parse_request(message) is message
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown or missing op"):
+            protocol.parse_request({"op": "transmogrify"})
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_request({})
+
+    def test_bad_id_type(self):
+        with pytest.raises(ProtocolError, match="request id"):
+            protocol.parse_request({"op": "status", "id": [1]})
+
+    def test_bad_tenant(self):
+        with pytest.raises(ProtocolError, match="tenant"):
+            protocol.parse_request({"op": "status", "tenant": ""})
+
+    def test_analyze_requires_known_analysis(self):
+        with pytest.raises(ProtocolError, match="analysis"):
+            protocol.parse_request({"op": "analyze", "analysis": "quantum"})
+
+
+class TestBuildGraph:
+    def test_inline_edges(self):
+        graph = protocol.build_graph(
+            {"graph": {"edges": [[0, 1], [1, 2]], "num_vertices": 4}}
+        )
+        assert graph.num_vertices == 4
+        assert graph.is_symmetric()
+        assert graph.has_edge(1, 0)
+
+    def test_inline_weighted_edges(self):
+        graph = protocol.build_graph(
+            {"graph": {"edges": [[0, 1, 2.5], [1, 2]]}}
+        )
+        assert graph.is_weighted
+        assert graph.edge_weight(0, 1) == 2.5
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ProtocolError, match="exactly one"):
+            protocol.build_graph({})
+        with pytest.raises(ProtocolError, match="exactly one"):
+            protocol.build_graph(
+                {"graph": {"edges": []}, "graph_path": "/tmp/x"}
+            )
+
+    def test_malformed_edges(self):
+        for edges in ([[0]], [[0, 1, 2, 3]], [["a", 1]], [[0, -1]], [[0, 1, "w"]]):
+            with pytest.raises(ProtocolError):
+                protocol.build_graph({"graph": {"edges": edges}})
+
+    def test_bad_num_vertices(self):
+        with pytest.raises(ProtocolError, match="num_vertices"):
+            protocol.build_graph(
+                {"graph": {"edges": [[0, 1]], "num_vertices": -1}}
+            )
+
+    def test_graph_path_npz(self, tmp_path):
+        from repro.graph.csr import CSRGraph
+        from repro.graph.npz import save_npz
+
+        g = CSRGraph.from_edges([0, 1], [1, 2], symmetrize=True)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        loaded = protocol.build_graph({"graph_path": str(path)})
+        assert loaded.num_vertices == g.num_vertices
+        assert np.array_equal(loaded.indices, g.indices)
+
+    def test_graph_path_missing_file(self, tmp_path):
+        with pytest.raises(ProtocolError, match="cannot load"):
+            protocol.build_graph({"graph_path": str(tmp_path / "no.npz")})
+
+    def test_graph_path_must_be_string(self):
+        with pytest.raises(ProtocolError, match="graph_path"):
+            protocol.build_graph({"graph_path": 42})
+
+
+class TestResponses:
+    def test_ok_response(self):
+        assert protocol.ok_response(3, n=5) == {"ok": True, "id": 3, "n": 5}
+
+    def test_error_response_shape(self):
+        response = protocol.error_response(
+            "r1", protocol.QUOTA_EXCEEDED, "quota", "slow down",
+            retry_after_s=1.5,
+        )
+        assert response["ok"] is False
+        assert response["error"]["code"] == 429
+        assert response["error"]["retry_after_s"] == 1.5
+        # The response must survive the wire format.
+        assert json.loads(protocol.encode_message(response)) == response

@@ -1,0 +1,138 @@
+"""Token-bucket quotas: refill arithmetic, burst, spec parsing."""
+
+import pytest
+
+from repro.errors import QuotaExceededError, ServeError
+from repro.serve.quotas import TenantQuota, TokenBucketQuotas
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestTenantQuota:
+    def test_validates(self):
+        with pytest.raises(ServeError):
+            TenantQuota(rate=0.0, burst=2)
+        with pytest.raises(ServeError):
+            TenantQuota(rate=1.0, burst=0.5)
+
+
+class TestTokenBucket:
+    def test_unlimited_by_default(self, clock):
+        quotas = TokenBucketQuotas(clock=clock)
+        for _ in range(1000):
+            quotas.check("anyone")
+        assert quotas.tokens("anyone") is None
+
+    def test_burst_then_reject(self, clock):
+        quotas = TokenBucketQuotas(
+            default=TenantQuota(rate=1.0, burst=3), clock=clock
+        )
+        for _ in range(3):
+            quotas.check("t")
+        with pytest.raises(QuotaExceededError) as excinfo:
+            quotas.check("t")
+        assert excinfo.value.retry_after_s == pytest.approx(1.0)
+
+    def test_refill_restores_service(self, clock):
+        quotas = TokenBucketQuotas(
+            default=TenantQuota(rate=2.0, burst=1), clock=clock
+        )
+        quotas.check("t")
+        with pytest.raises(QuotaExceededError):
+            quotas.check("t")
+        clock.advance(0.5)  # rate 2/s -> one token back
+        quotas.check("t")
+
+    def test_refill_caps_at_burst(self, clock):
+        quotas = TokenBucketQuotas(
+            default=TenantQuota(rate=100.0, burst=2), clock=clock
+        )
+        clock.advance(1000.0)
+        quotas.check("t")
+        quotas.check("t")
+        with pytest.raises(QuotaExceededError):
+            quotas.check("t")
+
+    def test_retry_after_reflects_deficit(self, clock):
+        quotas = TokenBucketQuotas(
+            default=TenantQuota(rate=4.0, burst=1), clock=clock
+        )
+        quotas.check("t")
+        clock.advance(0.125)  # half a token refilled
+        with pytest.raises(QuotaExceededError) as excinfo:
+            quotas.check("t")
+        assert excinfo.value.retry_after_s == pytest.approx(0.125)
+
+    def test_tenants_are_independent(self, clock):
+        quotas = TokenBucketQuotas(
+            default=TenantQuota(rate=1.0, burst=1), clock=clock
+        )
+        quotas.check("a")
+        quotas.check("b")  # b's bucket untouched by a's spend
+        with pytest.raises(QuotaExceededError):
+            quotas.check("a")
+
+    def test_per_tenant_override_beats_default(self, clock):
+        quotas = TokenBucketQuotas(
+            default=TenantQuota(rate=1.0, burst=100),
+            tenants={"small": TenantQuota(rate=1.0, burst=1)},
+            clock=clock,
+        )
+        quotas.check("small")
+        with pytest.raises(QuotaExceededError):
+            quotas.check("small")
+        for _ in range(50):
+            quotas.check("other")
+
+    def test_tokens_reports_balance(self, clock):
+        quotas = TokenBucketQuotas(
+            default=TenantQuota(rate=1.0, burst=4), clock=clock
+        )
+        quotas.check("t")
+        assert quotas.tokens("t") == pytest.approx(3.0)
+        clock.advance(0.5)
+        assert quotas.tokens("t") == pytest.approx(3.5)
+
+
+class TestFromSpec:
+    def test_none_is_unlimited(self):
+        quotas = TokenBucketQuotas.from_spec(None)
+        assert quotas.default is None
+        assert quotas.tenants == {}
+
+    def test_full_spec(self):
+        quotas = TokenBucketQuotas.from_spec({
+            "default": {"rate": 10, "burst": 20},
+            "tenants": {"a": {"rate": 1, "burst": 2}},
+        })
+        assert quotas.default == TenantQuota(rate=10.0, burst=20.0)
+        assert quotas.quota_for("a") == TenantQuota(rate=1.0, burst=2.0)
+        assert quotas.quota_for("other") == quotas.default
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ServeError, match="unknown quota spec"):
+            TokenBucketQuotas.from_spec({"defualt": {"rate": 1, "burst": 1}})
+
+    def test_rejects_malformed_entries(self):
+        with pytest.raises(ServeError, match="exactly"):
+            TokenBucketQuotas.from_spec({"default": {"rate": 1}})
+        with pytest.raises(ServeError, match="malformed"):
+            TokenBucketQuotas.from_spec(
+                {"default": {"rate": "fast", "burst": 1}}
+            )
+        with pytest.raises(ServeError, match="object"):
+            TokenBucketQuotas.from_spec([1, 2])
