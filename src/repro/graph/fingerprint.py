@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import zlib
 from typing import Any
 
 import numpy as np
@@ -50,14 +49,20 @@ def graph_fingerprint(
     must be rejected as stale rather than silently producing a
     plausible-looking hybrid.
     """
-    crc = zlib.crc32(np.ascontiguousarray(graph.indptr).tobytes())
-    crc = zlib.crc32(np.ascontiguousarray(graph.indices).tobytes(), crc)
+    # SHA-256 over the raw CSR bytes: a 32-bit checksum would let two
+    # distinct graphs with equal n/edge counts collide at the birthday
+    # bound (~65k cached graphs), and a collision here serves a *wrong
+    # permutation as authoritative*.  Array boundaries are unambiguous
+    # because the n/edges fields pin each array's length.
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(graph.indptr).tobytes())
+    digest.update(np.ascontiguousarray(graph.indices).tobytes())
     if graph.weights is not None:
-        crc = zlib.crc32(np.ascontiguousarray(graph.weights).tobytes(), crc)
+        digest.update(np.ascontiguousarray(graph.weights).tobytes())
     return {
         "n": int(graph.num_vertices),
         "edges": int(graph.num_edges),
-        "graph_crc32": int(crc),
+        "graph_sha256": digest.hexdigest(),
         "merge_threshold": float(merge_threshold),
         "visit": str(visit),
         "visit_rng": None if visit_rng is None else int(visit_rng),

@@ -230,6 +230,8 @@ class PermutationCache:
             key=lambda p: (p.stat().st_mtime, p.name),
         )
         excess = len(entries) - self.disk_entries
+        if excess <= 0:
+            return
         for path in entries[:excess]:
             path.unlink(missing_ok=True)
             self._metrics.counter("serve.cache.evict.disk").inc()

@@ -230,7 +230,23 @@ class ReorderServer:
                 if not line.strip():
                     continue
                 response = await self._handle_line(line)
-                await self._send(writer, response)
+                try:
+                    await self._send(writer, response)
+                except ProtocolError as exc:
+                    # Response over the line ceiling (e.g. the permutation
+                    # of a multi-million-vertex graph_path graph).  The
+                    # error frame itself is small — tell the client instead
+                    # of dropping the connection mid-request.
+                    self._metrics.counter("serve.errors.response_too_large").inc()
+                    await self._send(
+                        writer,
+                        protocol.error_response(
+                            response.get("id"),
+                            protocol.RESPONSE_TOO_LARGE,
+                            "response-too-large",
+                            str(exc),
+                        ),
+                    )
         except (ConnectionError, BrokenPipeError):
             pass
         finally:
@@ -241,7 +257,23 @@ class ReorderServer:
                 pass
 
     async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
-        writer.write(protocol.encode_message(message))
+        # JSON-encoding a permutation response can be tens of MB of work;
+        # keep it off the event loop so status probes stay responsive.
+        # Everything else (status, errors, analysis summaries) is tiny and
+        # encodes inline — it must not queue behind busy compute threads.
+        if "permutation" in message:
+            loop = asyncio.get_running_loop()
+            try:
+                data = await loop.run_in_executor(
+                    self._executor, protocol.encode_message, message
+                )
+            except RuntimeError:
+                # Executor already shut down (connection outliving a
+                # drain): encode inline rather than dropping the frame.
+                data = protocol.encode_message(message)
+        else:
+            data = protocol.encode_message(message)
+        writer.write(data)
         await writer.drain()
 
     async def _handle_line(self, line: bytes) -> dict[str, Any]:
@@ -327,8 +359,13 @@ class ReorderServer:
         graph = await loop.run_in_executor(
             self._executor, protocol.build_graph, request
         )
-        fingerprint = graph_fingerprint(
-            graph, merge_threshold=self.config.merge_threshold
+        # Fingerprinting hashes every CSR byte — executor work, like
+        # everything else that scales with graph size.
+        fingerprint = await loop.run_in_executor(
+            self._executor,
+            lambda: graph_fingerprint(
+                graph, merge_threshold=self.config.merge_threshold
+            ),
         )
         key = fingerprint_key(fingerprint)
         permutation, source = await self._permutation_for(key, fingerprint, graph)
@@ -345,7 +382,11 @@ class ReorderServer:
             fields["analysis"] = analysis
             fields["result"] = summary
         if request.get("include_permutation", op == "reorder"):
-            fields["permutation"] = [int(v) for v in permutation]
+            # ndarray → list[int] is O(n) and can take seconds for big
+            # graphs; never do it on the event loop.
+            fields["permutation"] = await loop.run_in_executor(
+                self._executor, permutation.tolist
+            )
         return protocol.ok_response(req_id, **fields)
 
     # -- the cache/coalesce/compute pipeline ------------------------------

@@ -31,9 +31,11 @@ Success: ``{"ok": true, "id": ..., ...op-specific fields}``.  Failure::
      "message": "...", "retry_after_s": 0.12}}
 
 ``code`` follows HTTP semantics so clients can triage generically:
-``400`` malformed request, ``404`` unknown op/analysis, ``429`` quota
-rejection (with ``retry_after_s``), ``500`` internal failure, ``503``
-draining (the daemon is shutting down and no longer accepts work).
+``400`` malformed request, ``404`` unknown op/analysis, ``413`` response
+over the line ceiling (retry with ``include_permutation: false`` or a
+smaller graph), ``429`` quota rejection (with ``retry_after_s``),
+``500`` internal failure, ``503`` draining (the daemon is shutting down
+and no longer accepts work).
 """
 
 from __future__ import annotations
@@ -56,6 +58,7 @@ __all__ = [
     "error_response",
     "BAD_REQUEST",
     "NOT_FOUND",
+    "RESPONSE_TOO_LARGE",
     "QUOTA_EXCEEDED",
     "INTERNAL_ERROR",
     "DRAINING",
@@ -76,6 +79,7 @@ ANALYSES = ("pagerank", "bfs", "components")
 # HTTP-style error codes.
 BAD_REQUEST = 400
 NOT_FOUND = 404
+RESPONSE_TOO_LARGE = 413
 QUOTA_EXCEEDED = 429
 INTERNAL_ERROR = 500
 DRAINING = 503

@@ -69,6 +69,15 @@ class TestSensitivity:
         g = _graph()
         assert graph_fingerprint(g, **kwargs) != graph_fingerprint(g)
 
+    def test_content_digest_is_full_sha256(self):
+        """The content component must be collision-resistant: a 32-bit
+        checksum would let distinct graphs share a cache key at the
+        birthday bound and serve a wrong permutation as authoritative."""
+        fp = graph_fingerprint(_graph())
+        assert "graph_crc32" not in fp
+        assert len(fp["graph_sha256"]) == 64
+        int(fp["graph_sha256"], 16)  # parses as hex
+
     def test_isolated_vertex_changes_fingerprint(self):
         # Same edge set, different vertex count: indptr differs.
         a = CSRGraph.from_edges([0], [1], num_vertices=2, symmetrize=True)

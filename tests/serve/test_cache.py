@@ -126,6 +126,17 @@ class TestTiers:
         # b fell out of memory but survives on disk.
         assert cache.get("b")[1] == "disk"
 
+    def test_under_capacity_puts_never_evict(self, tmp_path, fingerprint):
+        """Regression: a negative excess sliced entries from the oldest
+        end, self-evicting an under-capacity disk tier on every put."""
+        cache = PermutationCache(tmp_path, memory_entries=8, disk_entries=4)
+        perm = np.arange(3, dtype=np.int64)
+        before = _counters()
+        for key in ("a", "b", "c"):  # disk_entries - 1 puts
+            cache.put(key, fingerprint, perm)
+        assert sorted(cache.disk_keys()) == ["a", "b", "c"]
+        assert _delta(before).get("serve.cache.evict.disk") is None
+
     def test_disk_eviction_oldest_access_first(self, tmp_path, fingerprint):
         cache = PermutationCache(tmp_path, memory_entries=1, disk_entries=2)
         perm = np.arange(3, dtype=np.int64)

@@ -255,6 +255,37 @@ class TestRejections:
             response = client.request("reorder", graph={"edges": [[0]]})
             assert response["error"]["code"] == 400
 
+    def test_oversized_response_is_413_not_a_dropped_connection(
+        self, tmp_path, sock, monkeypatch
+    ):
+        """A response over the line ceiling must come back as a small
+        413 error frame, not a silently closed connection."""
+        from repro.graph.csr import CSRGraph
+        from repro.graph.npz import save_npz
+        from repro.serve import protocol
+
+        n = 300  # permutation JSON >> the patched ceiling below
+        graph = CSRGraph.from_edges(
+            list(range(n - 1)), list(range(1, n)), symmetrize=True
+        )
+        gpath = tmp_path / "big.npz"
+        save_npz(graph, gpath)
+        original_limit = protocol.MAX_LINE_BYTES
+        config = ServerConfig(unix_path=sock)
+        with ServerThread(config), ServeClient(unix_path=sock) as client:
+            # Patch after start so only message encoding sees the small
+            # ceiling (the graph_path request itself stays tiny).
+            monkeypatch.setattr(protocol, "MAX_LINE_BYTES", 512)
+            before = _counters()
+            response = client.request("reorder", graph_path=str(gpath))
+            assert response["ok"] is False
+            assert response["error"]["code"] == 413
+            assert response["error"]["kind"] == "response-too-large"
+            assert _delta(before).get("serve.errors.response_too_large") == 1
+            # The connection survives and serves the next request.
+            monkeypatch.setattr(protocol, "MAX_LINE_BYTES", original_limit)
+            assert client.reorder(edges=EDGES) == direct_permutation()
+
     def test_stale_socket_file_is_replaced(self, tmp_path, sock):
         from pathlib import Path
 
