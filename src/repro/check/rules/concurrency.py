@@ -9,10 +9,13 @@ code grows:
   (``threading.Lock`` & friends) inside ``repro/rabbit/`` or
   ``repro/parallel/``.  The sharded locks that *implement* the atomics
   are the intentional, suppressed exceptions.
-* ``private-atomic-state`` — nothing outside the atomic layer may reach
-  into :class:`AtomicPairArray`'s private storage (``_degree``,
-  ``_child``, ``_locks``, ``_lock_for``); shared mutable state is only
-  touched through ``load``/``swap``/``cas`` or the quiesced bulk views.
+* ``private-atomic-state`` — nothing outside the owning layer may reach
+  into concurrent private storage: :class:`AtomicPairArray`'s arrays
+  (``_degree``, ``_child``, ``_locks``, ``_lock_for``), the flat
+  engine's shard table (``_shards``), or the arena's bump cursor
+  (``_cursor``).  Shared mutable state is only touched through the
+  owner's operations (``load``/``swap``/``cas``, ``neighbours``/fold,
+  ``alloc``) or the quiesced bulk views.
 * ``unsupervised-process`` — no bare child processes
   (``multiprocessing.Process``, ``os.fork``,
   ``concurrent.futures.ProcessPoolExecutor``) anywhere in ``repro/``
@@ -41,8 +44,22 @@ _BLOCKING = {
     "Barrier",
 }
 
-#: AtomicPairArray internals that only the atomic layer may touch.
-_PRIVATE_ATOMIC_ATTRS = {"_degree", "_child", "_locks", "_lock_for"}
+#: Private concurrent-state attributes, each mapped to the one module
+#: (the owning layer) allowed to touch it.  Everything else goes through
+#: the owner's public operations, which are what the race detector
+#: instruments.
+_PRIVATE_STATE_OWNERS = {
+    # AtomicPairArray internals — only the atomic layer.
+    "_degree": "repro/parallel/atomics.py",
+    "_child": "repro/parallel/atomics.py",
+    "_locks": "repro/parallel/atomics.py",
+    "_lock_for": "repro/parallel/atomics.py",
+    # ShardedAdjacency's shard table — only the flat-array engine; reach
+    # through neighbours()/fold, or snapshot via the checkpoint codec.
+    "_shards": "repro/rabbit/fastpar.py",
+    # AdjacencyArena's bump-allocator cursor — only the arena itself.
+    "_cursor": "repro/rabbit/arena.py",
+}
 
 
 class LockInLockfreePath(Rule):
@@ -78,31 +95,28 @@ class LockInLockfreePath(Rule):
 class PrivateAtomicState(Rule):
     id = "private-atomic-state"
     rationale = (
-        "All cross-thread state must flow through the atomic record's "
-        "load/swap/cas operations; touching AtomicPairArray's private "
-        "arrays bypasses both the locking and the race detector's "
-        "instrumentation."
+        "All cross-thread state must flow through its owning layer's "
+        "public operations (load/swap/cas on the atomic record, "
+        "neighbours/fold on the sharded adjacency, alloc on the arena); "
+        "touching the private storage bypasses both the locking and the "
+        "race detector's instrumentation."
     )
     scope = ("repro/rabbit/", "repro/parallel/")
 
-    def applies_to(self, ctx: FileContext) -> bool:
-        if not super().applies_to(ctx):
-            return False
-        # atomics.py *is* the atomic layer.
-        return not ctx.rel.endswith("repro/parallel/atomics.py")
-
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
-            if (
-                isinstance(node, ast.Attribute)
-                and node.attr in _PRIVATE_ATOMIC_ATTRS
-            ):
-                yield ctx.finding(
-                    self.id,
-                    node,
-                    f"access to atomic-layer private state .{node.attr}; "
-                    "use load/swap/cas or the *_view() bulk accessors",
-                )
+            if not isinstance(node, ast.Attribute):
+                continue
+            owner = _PRIVATE_STATE_OWNERS.get(node.attr)
+            if owner is None or ctx.rel.endswith(owner):
+                continue
+            yield ctx.finding(
+                self.id,
+                node,
+                f"access to concurrent-layer private state .{node.attr} "
+                f"(owned by {owner}); use the owner's public operations "
+                "or the *_view() bulk accessors",
+            )
 
 
 #: Process-creating callables that must stay behind the supervised pool.

@@ -426,6 +426,7 @@ def _cmd_stress(args) -> int:
         quick=args.quick,
         executor=args.executor,
         detect_races=args.races,
+        engine=args.engine,
     )
     print(report.table())
     return 0 if report.ok else 1
@@ -661,6 +662,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "process pool")
     p.add_argument("--races", action="store_true",
                    help="run the happens-before race detector on every cell")
+    p.add_argument("--engine", choices=["fast", "dict"], default="fast",
+                   help="aggregation-state engine under test: flat "
+                        "arena-backed arrays (fast, default) or the dict "
+                        "reference; the chaos campaign always sweeps both")
     p.add_argument("--chaos", action="store_true",
                    help="chaos campaign instead: SIGKILL a checkpointing "
                         "subprocess mid-detection (or, with --executor "

@@ -180,6 +180,7 @@ def _run_cell(
     *,
     executor: str = "interleave",
     detect_races: bool = False,
+    engine: str = "fast",
 ) -> StressOutcome:
     plan = None if case.plan is None else replace(case.plan, seed=seed)
     outcome = StressOutcome(case=case.name, seed=seed, ok=False)
@@ -193,6 +194,7 @@ def _run_cell(
             fault_plan=plan,
             audit=True,
             detect_races=detect_races,
+            engine=engine,
         )
         if res.race_report is not None:
             outcome.races = len(res.race_report.races)
@@ -238,6 +240,7 @@ def run_stress(
     quick: bool = False,
     executor: str = "interleave",
     detect_races: bool = False,
+    engine: str = "fast",
 ) -> StressReport:
     """Sweep ``cases`` × ``num_seeds`` scheduler seeds on one R-MAT graph.
 
@@ -246,12 +249,16 @@ def run_stress(
     deterministic interleaving scheduler (replayable; the default) or
     real threads.  ``detect_races=True`` runs the happens-before race
     detector (:mod:`repro.check.races`) on every cell and fails any cell
-    whose report is not clean.
+    whose report is not clean.  ``engine`` picks the aggregation-state
+    layout under test: the flat arena-backed ``"fast"`` engine (the
+    default) or the ``"dict"`` reference.
     """
     if executor not in ("interleave", "threads"):
         raise ReproError(
             f"executor must be 'interleave' or 'threads', got {executor!r}"
         )
+    if engine not in ("fast", "dict"):
+        raise ReproError(f"engine must be 'fast' or 'dict', got {engine!r}")
     if quick:
         num_seeds = min(num_seeds, 3)
     graph = rmat_graph(scale, edge_factor=edge_factor, rng=graph_seed)
@@ -259,7 +266,7 @@ def run_stress(
         graph_desc=(
             f"R-MAT scale={scale} ({graph.num_vertices} vertices, "
             f"{graph.num_undirected_edges} edges), {num_seeds} seeds/case, "
-            f"executor={executor}"
+            f"executor={executor}, engine={engine}"
             + (", race detection on" if detect_races else "")
         )
     )
@@ -275,6 +282,7 @@ def run_stress(
                     num_threads,
                     executor=executor,
                     detect_races=detect_races,
+                    engine=engine,
                 )
             )
     report.metrics = counter_delta(counters_before, registry.counter_values())
@@ -304,6 +312,13 @@ CHAOS_KILL_PLAN = FaultPlan(
 _CHILD_NOT_KILLED = 3
 
 
+def _par_engine(engine: str) -> str:
+    """Aggregation-state engine of a parallel chaos engine name:
+    ``"par"`` runs the flat fastpar layout, ``"par-dict"`` the dict
+    reference."""
+    return "dict" if engine == "par-dict" else "fast"
+
+
 def _checkpointed_permutation(
     graph,
     *,
@@ -326,7 +341,7 @@ def _checkpointed_permutation(
     from repro.resilience.checkpoint import CheckpointConfig
 
     checkpoint = CheckpointConfig(directory=directory, every=every)
-    if engine == "par":
+    if engine.startswith("par"):
         res = community_detection_par(
             graph,
             num_threads=num_threads,
@@ -335,6 +350,7 @@ def _checkpointed_permutation(
             audit=True,
             checkpoint=checkpoint,
             resume=resume,
+            engine=_par_engine(engine),
         )
         return res.dendrogram.ordering()
     from repro.rabbit.seq import community_detection_seq
@@ -371,7 +387,7 @@ def _chaos_child_main(spec_path: str) -> int:
     )
     plan = None if spec["plan"] is None else FaultPlan(**spec["plan"])
     engine = spec["engine"]
-    if engine == "par":
+    if engine.startswith("par"):
         community_detection_par(
             graph,
             num_threads=int(spec["num_threads"]),
@@ -380,6 +396,7 @@ def _chaos_child_main(spec_path: str) -> int:
             ),
             fault_plan=plan,
             checkpoint=checkpointer,
+            engine=_par_engine(engine),
         )
     else:
         from repro.rabbit.seq import community_detection_seq
@@ -466,7 +483,12 @@ def _run_chaos_cell(
     executor: str,
     num_threads: int,
     every: int,
+    resume_engine: str | None = None,
 ) -> ChaosOutcome:
+    """One chaos cell.  ``resume_engine`` (the ``cross`` case) resumes
+    the killed child's checkpoint under a *different* aggregation-state
+    engine — the snapshot wire format is engine-neutral, and replayable
+    executions must land on the baseline permutation either way."""
     import repro
     from repro.resilience.checkpoint import latest_checkpoint
 
@@ -523,7 +545,7 @@ def _run_chaos_cell(
         outcome.resumed_from = found[1].progress
         resumed = _checkpointed_permutation(
             graph,
-            engine=engine,
+            engine=resume_engine or engine,
             executor=executor,
             num_threads=num_threads,
             seed=seed,
@@ -570,8 +592,13 @@ def run_chaos(
     from the newest snapshot the corpse left behind and require the
     finished permutation to be valid — and, for replayable executions
     (the interleaving scheduler, or one real thread), bit-identical to
-    the baseline.  Parallel cells also run a ``faulted`` case where the
-    kill is composed with :data:`CHAOS_KILL_PLAN` injection.
+    the baseline.  Parallel engines come in both state layouts —
+    ``par`` (flat fastpar arrays, the default everywhere) and
+    ``par-dict`` (the reference) — and additionally run a ``cross`` case
+    that resumes the killed run under the *other* layout, pinning the
+    engine-neutral snapshot format.  ``par`` cells also run a
+    ``faulted`` case where the kill is composed with
+    :data:`CHAOS_KILL_PLAN` injection.
     """
     from repro.graph.npz import save_npz
 
@@ -580,7 +607,11 @@ def run_chaos(
             f"executor must be 'interleave' or 'threads', got {executor!r}"
         )
     if engines is None:
-        engines = ("par", "fast") if quick else ("par", "fast", "dict")
+        engines = (
+            ("par", "fast")
+            if quick
+            else ("par", "par-dict", "fast", "dict")
+        )
     if quick:
         num_seeds = min(num_seeds, 2)
     graph = rmat_graph(scale, edge_factor=edge_factor, rng=graph_seed)
@@ -596,10 +627,13 @@ def run_chaos(
         graph_path = Path(workdir) / "graph.npz"
         save_npz(graph, graph_path)
         for engine in engines:
-            cases = [("clean", None)]
+            cases = [("clean", None, None)]
             if engine == "par":
-                cases.append(("faulted", CHAOS_KILL_PLAN))
-            for case, plan in cases:
+                cases.append(("faulted", CHAOS_KILL_PLAN, None))
+            if engine.startswith("par"):
+                other = "par-dict" if engine == "par" else "par"
+                cases.append(("cross", None, other))
+            for case, plan, resume_engine in cases:
                 for seed in range(num_seeds):
                     report.outcomes.append(
                         _run_chaos_cell(
@@ -613,6 +647,7 @@ def run_chaos(
                             executor=executor,
                             num_threads=num_threads,
                             every=every,
+                            resume_engine=resume_engine,
                         )
                     )
     return report

@@ -197,10 +197,13 @@ register_suite(
             ),
         ),
         # "Rabbit" is the fast flat-array engine; "RabbitDict" is the
-        # reference per-edge engine — both stay on the roster so every
-        # run measures the two engines side by side (equal permutations,
-        # different reorder_s) and the regression gate covers both.
-        orderings=("Rabbit", "RabbitDict", "RCM", "Degree", "Random"),
+        # reference per-edge engine; "RabbitPar" is the parallel
+        # flat-array engine under the deterministic interleaving
+        # scheduler — all three stay on the roster so every run measures
+        # the engines side by side (equal permutations, different
+        # reorder_s) and the regression gate covers each.
+        orderings=("Rabbit", "RabbitDict", "RabbitPar", "RCM", "Degree",
+                   "Random"),
         analyses=("pagerank", "bfs"),
     )
 )
@@ -244,12 +247,38 @@ register_suite(
 )
 
 
+register_suite(
+    BenchSuite(
+        name="scale",
+        description=(
+            "Parallel scaling suite: the sequential engines plus the "
+            "thread and process executors at 1/2/4/8 workers on the "
+            "largest bench graph (R-MAT scale 13); deterministic cells "
+            "are bit-checked against the sequential oracle "
+            "(docs/PERF.md)."
+        ),
+        graphs=(),
+        orderings=(),
+        analyses=(),
+        runner=lambda suite: _scale_suite_runner(suite),
+    )
+)
+
+
 def _serve_suite_runner(suite: BenchSuite) -> list[dict[str, Any]]:
     # Lazy import: repro.serve sits above repro.obs in the layering, so
     # the suite registration must not pull it in at module level.
     from repro.serve.loadgen import run_serve_suite
 
     return run_serve_suite(repeats=suite.repeats)
+
+
+def _scale_suite_runner(suite: BenchSuite) -> list[dict[str, Any]]:
+    # Lazy import: the runner drives repro.rabbit, which sits above
+    # repro.obs in the layering.
+    from repro.obs.scalebench import run_scale_suite
+
+    return run_scale_suite(repeats=suite.repeats)
 
 
 # ---------------------------------------------------------------------------

@@ -20,6 +20,7 @@ from repro.rabbit import rabbit_order
 __all__ = [
     "rabbit_order_result",
     "rabbit_dict_order_result",
+    "rabbit_par_order_result",
     "dendrogram_critical_path",
 ]
 
@@ -102,6 +103,26 @@ def rabbit_order_result(
         extra["op_counter"] = res.parallel.op_counter.snapshot()
     return OrderingResult(
         name="Rabbit", permutation=res.permutation, stats=stats, extra=extra
+    )
+
+
+def rabbit_par_order_result(graph: CSRGraph, **kwargs) -> OrderingResult:
+    """Registry entry ``"RabbitPar"``: parallel Algorithm 3 on the flat
+    arena-backed state (:mod:`repro.rabbit.fastpar`).
+
+    Runs under the deterministic interleaving scheduler by default, so
+    the bench rows it produces are replayable rather than
+    schedule-noisy; the true-multicore wall-clock story lives in the
+    ``scale`` bench suite, which probes the thread and process executors
+    at several worker counts.
+    """
+    kwargs.setdefault("parallel", True)
+    res = rabbit_order_result(graph, **kwargs)
+    return OrderingResult(
+        name="RabbitPar",
+        permutation=res.permutation,
+        stats=res.stats,
+        extra=res.extra,
     )
 
 

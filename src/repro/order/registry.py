@@ -18,6 +18,7 @@ from repro.order.nd import nd_order
 from repro.order.rabbit_adapter import (
     rabbit_dict_order_result,
     rabbit_order_result,
+    rabbit_par_order_result,
 )
 from repro.order.shingle import shingle_order
 from repro.order.simple import degree_order, random_order
@@ -38,6 +39,10 @@ ALGORITHMS: dict[str, OrderingFn] = {
         # of Table III but kept registered so the bench suites measure
         # both engines and the regression gate covers the oracle too.
         "RabbitDict": rabbit_dict_order_result,
+        # The parallel flat-array engine under the deterministic
+        # interleaving scheduler — replayable bench rows; the real
+        # thread/process wall-clock lives in the "scale" bench suite.
+        "RabbitPar": rabbit_par_order_result,
         "Slash": slashburn_order,
         "BFS": bfs_order,
         "RCM": rcm_order,

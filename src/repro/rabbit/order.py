@@ -132,10 +132,12 @@ def rabbit_order(
         shared-memory process pool), ``"threads"``, ``"interleave"``, or
         ``None`` to infer from ``scheduler_seed``.
     engine:
-        sequential detection engine: ``"fast"`` (vectorised flat-array
+        detection state engine: ``"fast"`` (vectorised flat-array
         aggregation, the default) or ``"dict"`` (the reference per-edge
-        implementation).  Both are bit-identical; ignored when
-        *parallel* is set.
+        implementation).  Both are bit-identical.  Applies to the
+        sequential path *and* the parallel thread/interleave executors
+        (the ``"procs"`` executor always runs the flat shared-memory
+        layout and accepts either value).
     scheduler_seed:
         when *parallel*, run detection under the deterministic
         interleaving scheduler with this seed (replayable) instead of
@@ -165,7 +167,8 @@ def rabbit_order(
     """
     resume = resolve_resume(resume)
     if parallel:
-        with span("rabbit.detect", parallel=True, n=graph.num_vertices):
+        with span("rabbit.detect", parallel=True, n=graph.num_vertices,
+                  engine=engine):
             result = community_detection_par(
                 graph,
                 num_threads=num_threads,
@@ -177,6 +180,7 @@ def rabbit_order(
                 checkpoint=checkpoint,
                 resume=resume,
                 executor=executor,
+                engine=engine,
             )
         with span("rabbit.ordering", parallel=True):
             perm = ordering_generation_par(result.dendrogram, num_threads)

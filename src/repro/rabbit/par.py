@@ -58,7 +58,8 @@ from repro.parallel.faults import (
 )
 from repro.parallel.scheduler import InterleavingScheduler, ThreadedRunner, drive
 from repro.rabbit.audit import AuditReport, audit_dendrogram
-from repro.rabbit.common import AggregationState, RabbitStats, aggregate_vertex
+from repro.rabbit.common import AggregationState, RabbitStats
+from repro.rabbit.fastpar import FlatAggregationState, ShardedAdjacency
 from repro.rabbit.seq import restore_stats
 from repro.resilience.checkpoint import (
     Snapshot,
@@ -103,7 +104,7 @@ class ParallelDetectionResult:
 
 
 def _worker(
-    state: AggregationState,
+    state,
     atoms: AtomicPairArray,
     chunk: np.ndarray,
     toplevel_sink: list[int],
@@ -111,9 +112,21 @@ def _worker(
     *,
     merge_threshold: float,
     max_attempts: int,
+    fold,
 ):
     """Process one chunk of vertices; a generator yielding at scheduling
-    points (see module docstring)."""
+    points (see module docstring).
+
+    The worker is engine-neutral: *state* is either the dict-backed
+    :class:`~repro.rabbit.common.AggregationState` or the flat-array
+    :class:`~repro.rabbit.fastpar.FlatAggregationState`, and *fold* is
+    the per-task closure from ``state.make_fold()`` returning ``u``'s
+    folded ``(neighbour, weight)`` pairs in first-encounter order (the
+    self-loop entry excluded).  Both folds run between the same two
+    yields with no internal scheduling points, so the yield/atomic-op
+    sequence — and therefore every deterministic interleaving — is
+    identical across engines.
+    """
     m = state.total_weight
     two_m = 2.0 * m
     dest = state.dest
@@ -127,7 +140,7 @@ def _worker(
         yield
         degree_u = atoms.swap_degree(u, INVALID_DEGREE)  # invalidate u (line 9)
         yield
-        neighbors = aggregate_vertex(state, u, stats)
+        neighbors = fold(u, stats)
         # Score neighbours with valid (finite) community degrees.
         best_v = -1
         best_dq = -np.inf
@@ -137,9 +150,7 @@ def _worker(
         saw_invalid = False
         penalty = degree_u / (two_m * two_m)
         inv_2m = 1.0 / two_m
-        for v, w in neighbors.items():
-            if v == u:  # self-loop entry (always inserted last); skipped
-                continue  # before the yield to keep interleavings stable
+        for v, w in neighbors:
             yield
             d_v = atoms.load_degree(v)
             if d_v == INVALID_DEGREE:
@@ -227,7 +238,7 @@ def _subtree_degree(
 
 
 def _recover_from_faults(
-    state: AggregationState,
+    state,
     atoms: AtomicPairArray,
     base_degrees: np.ndarray,
     sinks: list[list[int]],
@@ -323,6 +334,7 @@ def _recover_from_faults(
             fallback,
             merge_threshold=merge_threshold,
             max_attempts=max_attempts,
+            fold=state.make_fold(),
         )
     )
     rec.merge_from(fallback)
@@ -347,6 +359,7 @@ def community_detection_par(
     checkpoint=None,
     resume: Snapshot | None = None,
     executor: str | None = None,
+    engine: str = "fast",
 ) -> ParallelDetectionResult:
     """Parallel incremental aggregation (Algorithm 3).
 
@@ -355,6 +368,15 @@ def community_detection_par(
     num_threads:
         worker threads for the real-thread executor (worker *processes*
         for ``executor="procs"``).
+    engine:
+        aggregation-state layout: ``"fast"`` (default) runs the workers
+        on the flat-array :class:`~repro.rabbit.fastpar.FlatAggregationState`
+        with the vectorised fold; ``"dict"`` keeps the per-vertex dict
+        reference state.  Both produce bit-identical results under the
+        deterministic interleaving executor with the same seed (the fold
+        has no internal scheduling points, so the yield sequence is
+        engine-independent).  The procs executor is always flat-array
+        (its shared-memory layout); it accepts either value.
     scheduler_seed:
         if not ``None``, run under the deterministic interleaving
         scheduler instead of real threads (single OS thread, replayable).
@@ -405,6 +427,8 @@ def community_detection_par(
             f"executor must be 'procs', 'threads', 'interleave' or None, "
             f"got {executor!r}"
         )
+    if engine not in ("fast", "dict"):
+        raise ReproError(f"engine must be 'fast' or 'dict', got {engine!r}")
     if executor == "procs":
         if fault_plan is not None or detect_races:
             raise ReproError(
@@ -467,9 +491,13 @@ def community_detection_par(
             audit=audit,
             checkpointer=as_checkpointer(checkpoint),
             resume=resume,
+            engine=engine,
         )
-    with span("rabbit.par.setup", n=n):
-        state = AggregationState.initialize(graph)
+    with span("rabbit.par.setup", n=n, engine=engine):
+        if engine == "dict":
+            state = AggregationState.initialize(graph)
+        else:
+            state = FlatAggregationState.initialize(graph)
         counter = OpCounter()
         base_degrees = newman_degrees(graph)
         injector = None if fault_plan is None else FaultInjector(fault_plan)
@@ -499,7 +527,14 @@ def community_detection_par(
             state.dest = TracingArray(state.dest, race_log, "dest", RELAXED)
             state.sibling = TracingArray(state.sibling, race_log, "sibling")
             state.child = TracingArray(state.child, race_log, "child")
-            state.adj = TracingList(state.adj, race_log, "adj")
+            if engine == "dict":
+                state.adj = TracingList(state.adj, race_log, "adj")
+            else:
+                # The sharded arena logs its own coarse per-vertex "adj"
+                # events; the scalar-only fold keeps every dest access
+                # visible to the element-level proxies.
+                state.adj.tracer = race_log
+                state.scalar_only = True
         order = np.argsort(graph.degrees(), kind="stable")
         if chunk_size is None:
             # Fine-grained dynamic chunks keep the in-flight vertices close
@@ -523,6 +558,7 @@ def community_detection_par(
             per_chunk_stats[i],
             merge_threshold=merge_threshold,
             max_attempts=max_attempts,
+            fold=state.make_fold(),
         )
         for i, chunk in enumerate(chunks)
     ]
@@ -559,6 +595,8 @@ def community_detection_par(
         state.sibling = unwrap(state.sibling)
         state.child = unwrap(state.child)
         state.adj = unwrap(state.adj)
+        if isinstance(state.adj, ShardedAdjacency):
+            state.adj.tracer = None
         with span("rabbit.par.racecheck", n=n, events=len(race_log.events)):
             race_report = analyze_log(race_log)
 
@@ -638,6 +676,7 @@ def _detect_par_checkpointed(
     audit: bool,
     checkpointer,
     resume: Snapshot | None,
+    engine: str = "fast",
 ) -> ParallelDetectionResult:
     """Round-based parallel detection with checkpoint/resume.
 
@@ -662,8 +701,11 @@ def _detect_par_checkpointed(
     """
     n = graph.num_vertices
     fingerprint = graph_fingerprint(graph, merge_threshold=merge_threshold)
-    with span("rabbit.par.setup", n=n):
-        state = AggregationState.initialize(graph)
+    with span("rabbit.par.setup", n=n, engine=engine):
+        if engine == "dict":
+            state = AggregationState.initialize(graph)
+        else:
+            state = FlatAggregationState.initialize(graph)
         counter = OpCounter()
         base_degrees = newman_degrees(graph)
         injector = None if fault_plan is None else FaultInjector(fault_plan)
@@ -690,10 +732,21 @@ def _detect_par_checkpointed(
             # the constructor would reject).
             atoms.degrees_view()[:] = resume.degrees
             atoms.children_view()[:] = resume.child
-            for v, entry in enumerate(resume.iter_adjacency()):
-                if entry is not None:
-                    keys, ws = entry
-                    state.adj[v] = dict(zip(keys.tolist(), ws.tolist()))
+            if engine == "dict":
+                for v, entry in enumerate(resume.iter_adjacency()):
+                    if entry is not None:
+                        keys, ws = entry
+                        state.adj[v] = dict(zip(keys.tolist(), ws.tolist()))
+            else:
+                # The snapshot wire format *is* the flat layout: adopt the
+                # pools as a frozen shard instead of materialising O(m)
+                # per-vertex dicts.
+                state.adj = ShardedAdjacency.from_pools(
+                    resume.adj_offsets,
+                    resume.adj_lengths,
+                    resume.adj_keys,
+                    resume.adj_ws,
+                )
             toplevel_acc = resume.toplevel.tolist()
             chunk_edges = resume.chunk_edges.tolist()
             restore_stats(agg, resume)
@@ -724,6 +777,7 @@ def _detect_par_checkpointed(
         round_chunks = max(1, -(-every // chunk_size))
         config = {
             "engine": "par",
+            "par_engine": engine,
             "executor": "interleave" if scheduler_seed is not None else "threads",
             "num_threads": int(num_threads),
             "scheduler_seed": scheduler_seed,
@@ -760,6 +814,7 @@ def _detect_par_checkpointed(
                     round_stats[j],
                     merge_threshold=merge_threshold,
                     max_attempts=max_attempts,
+                    fold=state.make_fold(),
                 )
                 for j, chunk_arr in enumerate(round_slice)
             ]
@@ -815,10 +870,14 @@ def _detect_par_checkpointed(
                         comm_deg=atoms.degrees_view(),
                         toplevel=toplevel_acc,
                         adjacency=(
-                            None
-                            if d is None
-                            else (list(d.keys()), list(d.values()))
-                            for d in state.adj
+                            (
+                                None
+                                if d is None
+                                else (list(d.keys()), list(d.values()))
+                                for d in state.adj
+                            )
+                            if engine == "dict"
+                            else state.adj.iter_entries()
                         ),
                         stats=agg,
                         fingerprint=fingerprint,

@@ -9,9 +9,23 @@ oracle **by construction**:
 * Workers are **pure readers**.  A round takes the next ``R`` vertices
   of the degree-sorted visit order, leases slices of it to the pool, and
   each worker speculatively *folds* its vertices against the round-start
-  state, returning per-vertex proposals ``(u, keys, ws, loop, scanned)``
-  — exactly the dict engine's fold (first-encounter accumulation order,
-  self-loop last) with a non-mutating ``dest`` trace.
+  state — exactly the dict engine's fold (first-encounter accumulation
+  order, self-loop last) with a non-mutating ``dest`` trace.  Folds
+  above ``SCALAR_CUTOFF`` items run the vectorised concatenate-gather +
+  ``bincount`` kernel of :mod:`repro.rabbit.fastpar` (bit-identical to
+  the scalar accumulation; the fastseq lemma), in place over the shared
+  ndarrays — no per-edge Python in the hot path.
+* Proposals return through a **shared-memory scratch** segment: the
+  parent pre-computes a per-payload slice bound (CSR row plus stored
+  child entry lengths — walking each child chain once, amortised O(n)
+  over the run), workers write their folded ``(keys, ws)`` runs into
+  their slice and send only ``(u, offset, count, loop, scanned)`` over
+  the result pipe.  The in-parent fallback (and any worker seeing no
+  scratch) degrades to inline ``(u, keys, ws, loop, scanned)`` lists —
+  the parent accepts both forms.  A reclaimed lease cannot corrupt
+  scratch: lost workers are SIGKILLed before their lease is re-run, and
+  duplicate writes of the same slice are byte-identical anyway (the
+  fold is a pure function of round-start state).
 * The parent is the **sole writer**.  After the round it commits
   proposals sequentially in visit order.  A committed merge ``v → D``
   mutates only ``dest[v]``, ``sibling[v]``, ``child[D]``, and
@@ -55,6 +69,8 @@ from repro.parallel.procpool import (
 from repro.rabbit.arena import NOT_STORED
 from repro.rabbit.audit import audit_dendrogram
 from repro.rabbit.common import RabbitStats
+from repro.rabbit.fastpar import dedupe_first_encounter
+from repro.rabbit.fastseq import SCALAR_CUTOFF
 from repro.rabbit.par import ParallelDetectionResult
 from repro.rabbit.seq import restore_stats, visit_order
 from repro.resilience.checkpoint import (
@@ -92,11 +108,18 @@ class _ShmState:
         self.comm_deg = ShmArray.create(n, np.float64)
         self.adj_offset = ShmArray.create(n, np.int64)
         self.adj_length = ShmArray.create(n, np.int64)
+        # The visit order, shared once so lease payloads are (lo, hi)
+        # spans instead of pickled vertex lists.
+        self.order = ShmArray.create(n, np.int64)
         cap = max(int(capacity), 16)
         self.keys = ShmArray.create(cap, np.int64)
         self.ws = ShmArray.create(cap, np.float64)
         self.cursor = 0
         self.grows = 0
+        # Round-transient proposal scratch (see module docstring); grown
+        # generationally like the pools, content never survives a round.
+        self.scratch_keys: ShmArray | None = None
+        self.scratch_ws: ShmArray | None = None
 
     def fixed_specs(self) -> dict:
         return {
@@ -106,10 +129,28 @@ class _ShmState:
             "comm_deg": self.comm_deg.spec,
             "adj_offset": self.adj_offset.spec,
             "adj_length": self.adj_length.spec,
+            "order": self.order.spec,
         }
 
     def pool_specs(self) -> tuple:
         return self.keys.spec, self.ws.spec
+
+    def ensure_scratch(self, total: int) -> tuple:
+        """Size the proposal scratch for a round needing *total* items;
+        returns its ``(keys_spec, ws_spec)``.  Parent-only, between
+        rounds (workers re-attach when the segment name changes)."""
+        need = max(int(total), 16)
+        if self.scratch_keys is None or self.scratch_keys.array.size < need:
+            new_cap = 16
+            if self.scratch_keys is not None:
+                new_cap = self.scratch_keys.array.size
+                self.scratch_keys.destroy()
+                self.scratch_ws.destroy()
+            while new_cap < need:
+                new_cap *= 2
+            self.scratch_keys = ShmArray.create(new_cap, np.int64)
+            self.scratch_ws = ShmArray.create(new_cap, np.float64)
+        return self.scratch_keys.spec, self.scratch_ws.spec
 
     def _grow(self, need: int) -> None:
         new_cap = self.keys.array.size
@@ -123,16 +164,20 @@ class _ShmState:
             setattr(self, name, grown)
         self.grows += 1
 
-    def store(self, v: int, keys, ws) -> None:
-        """Append *v*'s folded entry (arena conventions: self-loop key
-        last; called only from the parent's commit phase)."""
+    def store(self, v: int, keys, ws, loop: float) -> None:
+        """Append *v*'s folded entry plus its self-loop ``(v, loop)``
+        tail (arena conventions: self-loop key last; called only from
+        the parent's commit phase)."""
         keys = np.asarray(keys, dtype=np.int64)
-        count = keys.size
+        count = keys.size + 1
         if self.cursor + count > self.keys.array.size:
             self._grow(self.cursor + count)
         off = self.cursor
-        self.keys.array[off : off + count] = keys
-        self.ws.array[off : off + count] = np.asarray(ws, dtype=np.float64)
+        end = off + count - 1
+        self.keys.array[off:end] = keys
+        self.keys.array[end] = v
+        self.ws.array[off:end] = np.asarray(ws, dtype=np.float64)
+        self.ws.array[end] = loop
         self.adj_offset.array[v] = off
         self.adj_length.array[v] = count
         self.cursor = off + count
@@ -170,10 +215,15 @@ class _ShmState:
             "comm_deg",
             "adj_offset",
             "adj_length",
+            "order",
             "keys",
             "ws",
+            "scratch_keys",
+            "scratch_ws",
         ):
-            getattr(self, name).destroy()
+            arr = getattr(self, name)
+            if arr is not None:
+                arr.destroy()
 
 
 # ---------------------------------------------------------------------------
@@ -242,29 +292,98 @@ def _fold_vertex(
     return acc, loop, scanned
 
 
+def _find_roots_array(dest, t: np.ndarray) -> np.ndarray:
+    """Vectorised non-mutating community trace: per-element identical to
+    :func:`_find_root` (workers may not write, so no path compression).
+    Terminates because ``dest`` is static during a round and root
+    vertices map to themselves."""
+    v = dest[t]
+    vv = dest[v]
+    while not np.array_equal(v, vv):
+        v = vv
+        vv = dest[v]
+    return v
+
+
+def _fold_vertex_arrays(
+    graph, dest, child, sibling, adj_offset, adj_length, keys_pool, ws_pool, u
+):
+    """The fold of :func:`_fold_vertex`, vectorised above
+    ``SCALAR_CUTOFF`` folded items (numpy call overhead loses below it).
+
+    Returns ``(keys, ws, loop, scanned)`` — keys/ws are lists (scalar
+    path) or ndarrays (vector path); both orderings and every float
+    rounding step are bit-identical to the dict accumulation (the
+    :mod:`repro.rabbit.fastseq` lemma via
+    :func:`repro.rabbit.fastpar.dedupe_first_encounter`).
+    """
+    u = int(u)
+    indptr = graph.indptr
+    members = [u]
+    total = int(indptr[u + 1]) - int(indptr[u])
+    c = int(child[u])
+    while c != NO_VERTEX:
+        members.append(c)
+        total += int(adj_length[c])
+        c = int(sibling[c])
+    if total <= SCALAR_CUTOFF:
+        acc, loop, scanned = _fold_vertex(
+            graph, dest, child, sibling, adj_offset, adj_length,
+            keys_pool, ws_pool, u,
+        )
+        return list(acc.keys()), list(acc.values()), loop, scanned
+    lo, hi = int(indptr[u]), int(indptr[u + 1])
+    t0 = graph.indices[lo:hi]
+    self_mask = t0 == u
+    has_loop = bool(self_mask.any())
+    if graph.weights is None:
+        w0 = np.ones(t0.size, dtype=np.float64)
+        if has_loop:
+            w0[self_mask] = 2.0  # doubled self-loop convention
+    else:
+        w0 = graph.weights[lo:hi]
+        if has_loop:
+            w0 = w0.copy()
+            w0[self_mask] *= 2.0
+    key_parts = [t0]
+    w_parts = [w0]
+    for s in members[1:]:
+        off = int(adj_offset[s])
+        end = off + int(adj_length[s])
+        key_parts.append(keys_pool[off:end])
+        w_parts.append(ws_pool[off:end])
+    t_all = np.concatenate(key_parts)
+    w_all = np.concatenate(w_parts)
+    v_all = _find_roots_array(dest, t_all)
+    nk, nw, loop = dedupe_first_encounter(v_all, w_all, u)
+    return nk, nw, loop, total
+
+
 def _propose(graph, dest, child, sibling, adj_offset, adj_length,
              keys_pool, ws_pool, u):
-    acc, loop, scanned = _fold_vertex(
+    """Inline-form proposal (pipe transport): used by the in-parent
+    fallback and by workers handed no scratch segment."""
+    keys, ws, loop, scanned = _fold_vertex_arrays(
         graph, dest, child, sibling, adj_offset, adj_length,
         keys_pool, ws_pool, u,
     )
-    return (
-        int(u),
-        list(acc.keys()),
-        list(acc.values()),
-        float(loop),
-        int(scanned),
-    )
+    if isinstance(keys, np.ndarray):
+        keys = keys.tolist()
+        ws = ws.tolist()
+    return (int(u), keys, ws, float(loop), int(scanned))
 
 
 def _rabbit_worker_factory(init, beat):
     """Pool worker: attach the shared state, then serve lease payloads
-    of visit-order vertices, returning one proposal per vertex."""
+    of visit-order vertices, returning one proposal per vertex — via the
+    round's scratch segment when the payload carries one (the metadata
+    tuple ``(u, offset, count, loop, scanned)``), inline otherwise."""
     graph, fixed = init
     # ``attached`` must stay referenced by the closure: the ndarray
     # views alone do not keep the segments mapped (see ShmArray).
     attached = {name: ShmArray.attach(spec) for name, spec in fixed.items()}
     pools: dict[str, ShmArray] = {}
+    scratch: dict[str, ShmArray] = {}
 
     def run(payload):
         dest = attached["dest"].array
@@ -281,15 +400,50 @@ def _rabbit_worker_factory(init, beat):
             pools["ws"] = ShmArray.attach(wspec)
         keys_pool = pools["keys"].array
         ws_pool = pools["ws"].array
+        specs = payload.get("scratch")
+        scratch_keys = scratch_ws = None
+        if specs is not None:
+            skspec, swspec = specs
+            held = scratch.get("keys")
+            if held is None or held.shm.name != skspec.name:
+                for arr in scratch.values():
+                    arr.close()
+                scratch["keys"] = ShmArray.attach(skspec)
+                scratch["ws"] = ShmArray.attach(swspec)
+            scratch_keys = scratch["keys"].array
+            scratch_ws = scratch["ws"].array
+        cursor = int(payload.get("scratch_off", 0))
+        limit = cursor + int(payload.get("scratch_len", 0))
+        vertices = payload.get("vertices")
+        if vertices is None:
+            lo, hi = payload["span"]
+            vertices = attached["order"].array[lo:hi]
         out = []
-        for u in payload["vertices"]:
-            beat()
-            out.append(
-                _propose(
-                    graph, dest, child, sibling, adj_offset, adj_length,
-                    keys_pool, ws_pool, u,
-                )
+        for k, u in enumerate(vertices):
+            # Beat per lease plus every 64 vertices: per-vertex beats
+            # flood the beat pipe (a syscall each side) and dominate the
+            # parent's poll loop; folds are microseconds, so 64 of them
+            # stay far inside any heartbeat_timeout_s.
+            if not (k & 63):
+                beat()
+            keys, ws, loop, scanned = _fold_vertex_arrays(
+                graph, dest, child, sibling, adj_offset, adj_length,
+                keys_pool, ws_pool, u,
             )
+            count = len(keys)
+            if scratch_keys is not None and cursor + count <= limit:
+                scratch_keys[cursor : cursor + count] = keys
+                scratch_ws[cursor : cursor + count] = ws
+                out.append(
+                    (int(u), int(cursor), int(count), float(loop),
+                     int(scanned))
+                )
+                cursor += count
+            else:
+                if isinstance(keys, np.ndarray):
+                    keys = keys.tolist()
+                    ws = ws.tolist()
+                out.append((int(u), keys, ws, float(loop), int(scanned)))
         return out
 
     return run
@@ -387,12 +541,16 @@ def community_detection_procs(
             toplevel = resume.toplevel.tolist()
             lease_edges = resume.chunk_edges.tolist()
             restore_stats(stats, resume)
+        state.order.array[:] = order
         if ckpt is not None:
             round_size = max(1, ckpt.every)
         elif resume is not None and resume.config.get("checkpoint_every"):
             round_size = max(1, int(resume.config["checkpoint_every"]))
         else:
-            round_size = max(32, 8 * pool_config.num_workers)
+            # Larger rounds amortise dispatch/commit barriers; the result
+            # is round-size-independent (conflicted speculation is simply
+            # refolded in-parent), so this is purely a throughput knob.
+            round_size = max(512, 128 * pool_config.num_workers)
         config = {
             "engine": "procs",
             "executor": "procs",
@@ -412,7 +570,7 @@ def community_detection_procs(
         conflicts = registry.counter("procpool.speculation.conflicts")
 
         def local_fold(u):
-            return _fold_vertex(
+            return _fold_vertex_arrays(
                 graph, dest, child, sibling,
                 state.adj_offset.array, state.adj_length.array,
                 state.keys.array, state.ws.array, u,
@@ -422,13 +580,17 @@ def community_detection_procs(
             # In-parent sequential fallback for quarantined/orphaned
             # leases.  Valid mid-round: the parent commits only *after*
             # run_round returns, so the state equals the round start.
+            vs = payload.get("vertices")
+            if vs is None:
+                lo, hi = payload["span"]
+                vs = order[lo:hi]
             return [
                 _propose(
                     graph, dest, child, sibling,
                     state.adj_offset.array, state.adj_length.array,
                     state.keys.array, state.ws.array, u,
                 )
-                for u in payload["vertices"]
+                for u in vs
             ]
 
         with span(
@@ -448,6 +610,18 @@ def community_detection_procs(
                 # Round numbering restarts from the boundary position so
                 # a resumed run replays the same chaos/backoff seeds.
                 round_idx = start // round_size
+                # A committed merge v -> D invalidates exactly (a) any
+                # proposal whose folded keys name the *moved* source v
+                # (its endpoints re-root to D), and (b) D's *own* fold
+                # (its member chain gained v).  A fold never reads its
+                # keys' comm_deg/child state, so proposals that merely
+                # name D as a neighbour stay exact — the parent always
+                # scores against live community degrees anyway.
+                moved_mask = np.zeros(n, dtype=bool)
+                gained_mask = np.zeros(n, dtype=bool)
+                dirtied: list[int] = []
+                indptr = graph.indptr
+                adj_length = state.adj_length.array
                 while pos < n:
                     stop = min(n, pos + round_size)
                     vertices = order[pos:stop]
@@ -457,45 +631,83 @@ def community_detection_procs(
                           // max(1, 2 * pool_config.num_workers)),
                     )
                     kspec, wspec = state.pool_specs()
-                    payloads = [
-                        {
-                            "vertices": vertices[a : a + lease].tolist(),
-                            "pools": (kspec, wspec),
-                        }
-                        for a in range(0, int(vertices.size), lease)
-                    ]
+                    # Exact per-vertex fold-size bound (CSR row + stored
+                    # child entries at round start) sizes the scratch;
+                    # each merged vertex is walked as a child once per
+                    # run, so this amortises to O(n + m) overall.
+                    bounds = []
+                    for u in vertices.tolist():
+                        b = int(indptr[u + 1]) - int(indptr[u])
+                        c = int(child[u])
+                        while c != NO_VERTEX:
+                            b += int(adj_length[c])
+                            c = int(sibling[c])
+                        bounds.append(b)
+                    scratch_specs = state.ensure_scratch(sum(bounds))
+                    payloads = []
+                    scratch_off = 0
+                    for a in range(0, int(vertices.size), lease):
+                        blen = int(sum(bounds[a : a + lease]))
+                        hi = min(stop, pos + a + lease)
+                        payloads.append(
+                            {
+                                "span": (pos + a, hi),
+                                "pools": (kspec, wspec),
+                                "scratch": scratch_specs,
+                                "scratch_off": scratch_off,
+                                "scratch_len": blen,
+                            }
+                        )
+                        scratch_off += blen
                     returned = pool.run_round(payloads, round_idx=round_idx)
                     by_u = {
                         p[0]: p for chunk in returned for p in chunk
                     }
+                    scratch_k = state.scratch_keys.array
+                    scratch_w = state.scratch_ws.array
                     # Sequential commit in visit order (sole writer).
-                    dirty: set[int] = set()
+                    for v in dirtied:
+                        moved_mask[v] = False
+                        gained_mask[v] = False
+                    dirtied.clear()
                     for i in range(pos, stop):
                         u = int(order[i])
                         heartbeat()
                         prop = by_u.get(u)
+                        if prop is None:
+                            keys = ws = None
+                        elif isinstance(prop[1], list):
+                            keys = np.asarray(prop[1], dtype=np.int64)
+                            ws = np.asarray(prop[2], dtype=np.float64)
+                            loop, scanned = prop[3], prop[4]
+                        else:  # scratch form: (u, offset, count, ...)
+                            off, cnt = int(prop[1]), int(prop[2])
+                            keys = scratch_k[off : off + cnt]
+                            ws = scratch_w[off : off + cnt]
+                            loop, scanned = prop[3], prop[4]
                         if (
-                            prop is None
-                            or u in dirty
-                            or not dirty.isdisjoint(prop[1])
+                            keys is None
+                            or gained_mask[u]
+                            or (keys.size and moved_mask[keys].any())
                         ):
+                            # Speculation conflict (or lost proposal):
+                            # refold against the now-sequential state.
                             if prop is not None:
                                 conflicts.inc()
-                            acc, loop, scanned = local_fold(u)
-                            keys_list = list(acc.keys())
-                            ws_list = list(acc.values())
-                        else:
-                            _, keys_list, ws_list, loop, scanned = prop
+                            keys, ws, loop, scanned = local_fold(u)
+                            keys = np.asarray(keys, dtype=np.int64)
+                            ws = np.asarray(ws, dtype=np.float64)
                         d_u = float(comm_deg[u])
                         penalty = d_u / (two_m * two_m)
-                        best_v = -1
-                        best_dq = -np.inf
-                        for v, w in zip(keys_list, ws_list):
-                            dq = 2.0 * (w * inv_2m - comm_deg[v] * penalty)
-                            if dq > best_dq:
-                                best_dq = dq
-                                best_v = int(v)
-                        state.store(u, keys_list + [u], ws_list + [loop])
+                        if keys.size:
+                            dq = 2.0 * (ws * inv_2m - comm_deg[keys] * penalty)
+                            j = int(np.argmax(dq))  # first strict max, as
+                            best_dq = float(dq[j])  # the scalar scan picks
+                            best_v = int(keys[j])
+                        else:
+                            best_v = -1
+                            best_dq = -np.inf
+                        state.store(u, keys, ws, float(loop))
                         stats.edges_scanned += scanned
                         if stats.vertex_work is not None:
                             stats.vertex_work[u] += scanned
@@ -508,8 +720,10 @@ def community_detection_procs(
                             child[best_v] = u
                             comm_deg[best_v] += d_u
                             stats.merges += 1
-                            dirty.add(u)
-                            dirty.add(best_v)
+                            moved_mask[u] = True
+                            gained_mask[best_v] = True
+                            dirtied.append(u)
+                            dirtied.append(best_v)
                     lease_edges.extend(
                         sum(p[4] for p in chunk) for chunk in returned
                     )

@@ -89,7 +89,10 @@ class LadderRung:
 
     name: str
     parallel: bool
-    #: sequential engines only: "fast" | "dict"
+    #: aggregation-state engine: "fast" (flat arena-backed arrays) |
+    #: "dict" (reference per-vertex dicts).  Applies to sequential rungs
+    #: and to the parallel thread/interleave executors alike; the
+    #: "procs" executor always runs the flat shared-memory layout.
     engine: str = "fast"
     #: parallel only: "procs" (supervised process pool) | "threads"
     #: (real threads) | "interleave" (deterministic seeded scheduler)
@@ -125,7 +128,11 @@ def default_ladder(
     The top rung is the fault-tolerant shared-memory process pool
     (:mod:`repro.parallel.procpool`) — the only true-multicore executor;
     losing its workers (or its whole pool) degrades to the GIL-bound
-    thread executor, and onward to the sequential engines.
+    thread executor, and onward to the sequential engines.  Every rung
+    defaults to ``engine="fast"``: the parallel rungs run the flat
+    arena-backed :mod:`repro.rabbit.fastpar` state (the genuinely
+    fastest configurations), falling through to the vectorised
+    sequential engine and finally the dict reference oracle.
     """
     return (
         LadderRung("par-procs", parallel=True, executor="procs",

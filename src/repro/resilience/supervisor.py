@@ -54,6 +54,7 @@ from repro.errors import (
     StallError,
 )
 from repro.obs.trace import span
+from repro.parallel.costmodel import ParallelMachine
 from repro.resilience.checkpoint import latest_checkpoint
 from repro.resilience.policy import (
     Budgets,
@@ -418,15 +419,17 @@ def supervised_rabbit_order(
 
     Maps each ladder rung onto the entry point's engine knobs —
     parallel rungs pick the executor (the shared-memory process pool,
-    real threads, or the deterministic interleaving scheduler),
-    sequential rungs pick the engine — and, when
+    real threads, or the deterministic interleaving scheduler) plus the
+    aggregation-state engine, sequential rungs pick the engine — and, when
     the policy carries a checkpoint directory, threads
     ``checkpoint=``/``resume=`` through every attempt so a degraded rung
     continues from the aborted rung's last snapshot instead of starting
     over.
 
-    ``num_procs`` sizes the ``par-procs`` rung's worker pool (default 2
-    when neither the rung nor the caller says otherwise).  The procs
+    ``num_procs`` sizes the ``par-procs`` rung's worker pool (default:
+    the detected host's physical cores, via
+    :meth:`~repro.parallel.costmodel.ParallelMachine.detect`, when
+    neither the rung nor the caller says otherwise).  The procs
     executor rejects ``fault_plan`` with a
     :class:`~repro.errors.ReproError`, which the ladder treats as an
     ordinary failed attempt — fault-injected runs degrade straight to
@@ -462,7 +465,11 @@ def supervised_rabbit_order(
                 else policy.seed
             )
             if rung.executor == "procs":
-                workers = rung.num_threads or num_procs or 2
+                workers = (
+                    rung.num_threads
+                    or num_procs
+                    or ParallelMachine.detect().physical_cores
+                )
             else:
                 workers = rung.num_threads or num_threads
             return rabbit_order(
@@ -473,6 +480,7 @@ def supervised_rabbit_order(
                 scheduler_seed=seed if interleave else None,
                 fault_plan=fault_plan,
                 audit=audit,
+                engine=rung.engine,
                 **common,
             )
         return rabbit_order(graph, engine=rung.engine, audit=audit, **common)

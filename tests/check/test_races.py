@@ -36,7 +36,7 @@ from repro.graph.generators import rmat_graph
 from repro.parallel.atomics import INVALID_DEGREE, AtomicPairArray, OpCounter
 from repro.parallel.faults import FaultInjector, FaultPlan, FaultyAtomicPairArray
 from repro.parallel.scheduler import InterleavingScheduler
-from repro.rabbit.common import AggregationState, RabbitStats, aggregate_vertex
+from repro.rabbit.common import AggregationState, RabbitStats
 from repro.rabbit.par import _worker, community_detection_par
 
 
@@ -252,7 +252,7 @@ class TestCollectionMachinery:
 
 
 def _broken_worker(state, atoms, chunk, sink, stats, *,
-                   merge_threshold=0.0, max_attempts=100):
+                   merge_threshold=0.0, max_attempts=100, fold=None):
     """Algorithm 3 worker with one mutation: the ``sibling`` link is
     written *after* the CAS, outside the release that publishes it —
     the exact bug class the detector exists to catch."""
@@ -266,14 +266,12 @@ def _broken_worker(state, atoms, chunk, sink, stats, *,
         yield
         degree_u = atoms.swap_degree(u, INVALID_DEGREE)
         yield
-        neighbors = aggregate_vertex(state, u, stats)
+        neighbors = fold(u, stats)
         best_v = -1
         best_dq = -np.inf
         penalty = degree_u / (two_m * two_m)
         inv_2m = 1.0 / two_m
-        for v, w in neighbors.items():
-            if v == u:
-                continue
+        for v, w in neighbors:
             yield
             d_v = atoms.load_degree(v)
             if d_v == INVALID_DEGREE:
@@ -337,7 +335,8 @@ def _instrumented_run(graph, worker_fn, seed, *, fault_plan=None):
     tasks = [
         tag_worker(
             worker_fn(state, atoms, chunk, [], RabbitStats(),
-                      merge_threshold=0.0, max_attempts=100),
+                      merge_threshold=0.0, max_attempts=100,
+                      fold=state.make_fold()),
             i,
         )
         for i, chunk in enumerate(chunks)

@@ -69,6 +69,31 @@ class TestPrivateAtomicState:
         )
         assert found == []
 
+    def test_flags_flat_engine_shard_table(self, tmp_path):
+        src = "def peek(adj, v):\n    return adj._shards[0]\n"
+        found = findings(tmp_path, src, self.RULE, name="repro/rabbit/x.py")
+        assert len(found) == 1
+        assert "._shards" in found[0].message
+        assert "fastpar" in found[0].message
+
+    def test_flags_arena_cursor(self, tmp_path):
+        src = "def used(arena):\n    return arena._cursor\n"
+        found = findings(tmp_path, src, self.RULE, name="repro/rabbit/x.py")
+        assert len(found) == 1
+        assert "._cursor" in found[0].message
+
+    def test_each_owner_is_exempt_for_its_own_attrs_only(self, tmp_path):
+        # fastpar.py owns _shards but not the atomic arrays.
+        src = (
+            "def f(adj, atoms, i):\n"
+            "    return adj._shards[0], atoms._degree[i]\n"
+        )
+        found = findings(
+            tmp_path, src, self.RULE, name="src/repro/rabbit/fastpar.py"
+        )
+        assert len(found) == 1
+        assert "._degree" in found[0].message
+
 
 class TestUnsortedSetIteration:
     RULE = "unsorted-set-iteration"

@@ -1,0 +1,75 @@
+"""Scale bench suite: runner output, oracle gate, schema validity."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import bench, scalebench
+from repro.obs.schema import validate_bench
+
+
+@pytest.fixture(scope="module")
+def scale_doc():
+    """One shrunken real run of the scale suite, shared by this module."""
+    import unittest.mock as mock
+
+    with mock.patch.object(
+        scalebench, "SCALE_GRAPH", ("rmat-s6", 6, 4, 3)
+    ), mock.patch.object(scalebench, "WORKER_COUNTS", (1, 2)):
+        return bench.run_suite("scale")
+
+
+class TestScaleSuite:
+    def test_registered(self):
+        assert "scale" in bench.list_suites()
+
+    def test_document_is_schema_valid(self, scale_doc):
+        assert validate_bench(scale_doc) == []
+        assert scale_doc["suite"] == "scale"
+
+    def test_cell_roster(self, scale_doc):
+        cells = {r["ordering"] for r in scale_doc["results"]}
+        assert cells == {
+            "fastseq", "seq-dict",
+            "threads-w1", "threads-w2", "procs-w1", "procs-w2",
+        }
+
+    def test_cells_record_host_topology(self, scale_doc):
+        for r in scale_doc["results"]:
+            assert r["counters"]["machine.physical_cores"] >= 1.0
+            assert r["counters"]["machine.hardware_threads"] >= 1.0
+
+    def test_deterministic_cells_carry_gap_metric(self, scale_doc):
+        by_name = {r["ordering"]: r for r in scale_doc["results"]}
+        for name in ("fastseq", "seq-dict", "threads-w1", "procs-w1",
+                     "procs-w2"):
+            assert "average_neighbor_gap" in by_name[name]["locality"]
+        # threads-w2 races: its permutation (hence gap) is not replayable.
+        assert "average_neighbor_gap" not in by_name["threads-w2"]["locality"]
+
+    def test_percentiles_per_cell(self, scale_doc):
+        for r in scale_doc["results"]:
+            assert set(r["percentiles"]) == {"reorder_s"}
+
+    def test_self_compare_is_clean(self, scale_doc):
+        report = bench.compare(scale_doc, scale_doc)
+        assert report.ok
+
+    def test_oracle_divergence_fails_the_run(self, monkeypatch):
+        """The equivalence gate is live: a procs cell whose permutation
+        differs from the sequential oracle aborts the suite."""
+        import unittest.mock as mock
+
+        real = scalebench.rabbit_order
+
+        def sabotaged(graph, **kwargs):
+            res = real(graph, **kwargs)
+            if kwargs.get("executor") == "procs":
+                res.permutation[:2] = res.permutation[:2][::-1]
+            return res
+
+        monkeypatch.setattr(scalebench, "rabbit_order", sabotaged)
+        with mock.patch.object(
+            scalebench, "SCALE_GRAPH", ("rmat-s6", 6, 4, 3)
+        ), mock.patch.object(scalebench, "WORKER_COUNTS", (1,)):
+            with pytest.raises(ReproError, match="diverged"):
+                scalebench.run_scale_suite()

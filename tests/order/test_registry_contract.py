@@ -27,6 +27,28 @@ class TestRegistry:
         assert res.name == "Degree"
 
 
+class TestEngineAliases:
+    """Off-roster engine rows the bench suites measure side by side."""
+
+    @pytest.mark.parametrize("name", ["RabbitDict", "RabbitPar"])
+    def test_registered_and_valid(self, name, paper_graph):
+        res = ALGORITHMS[name](paper_graph, rng=0)
+        assert res.name == name
+        validate_permutation(res.permutation, paper_graph.num_vertices)
+
+    def test_rabbit_par_replayable(self, paper_graph):
+        """The interleave-scheduled parallel row must be deterministic —
+        the property that makes it benchable without schedule noise."""
+        a = ALGORITHMS["RabbitPar"](paper_graph, rng=17)
+        b = ALGORITHMS["RabbitPar"](paper_graph, rng=17)
+        assert np.array_equal(a.permutation, b.permutation)
+
+    def test_rabbit_dict_matches_rabbit(self, paper_graph):
+        a = ALGORITHMS["Rabbit"](paper_graph, rng=0)
+        b = ALGORITHMS["RabbitDict"](paper_graph, rng=0)
+        assert np.array_equal(a.permutation, b.permutation)
+
+
 @pytest.mark.parametrize("algorithm", TABLE3_ORDER)
 class TestContract:
     def test_valid_permutation_on_zoo(self, algorithm, zoo_graph):

@@ -15,6 +15,19 @@ class TestChaosCampaign:
         # replayable executions are bit-compared, not just validated
         assert all(o.compared for o in report.outcomes)
 
+    def test_cross_engine_resume(self):
+        """The ``cross`` case resumes a killed flat-engine run under the
+        dict engine and vice versa: the snapshot wire format is
+        engine-neutral and both layouts land on the same permutation."""
+        report = run_chaos(
+            scale=6, num_seeds=1, executor="interleave",
+            engines=("par", "par-dict"),
+        )
+        assert report.ok, report.table()
+        cross = [o for o in report.outcomes if o.case == "cross"]
+        assert {o.engine for o in cross} == {"par", "par-dict"}
+        assert all(o.compared and o.resumed_from > 0 for o in cross)
+
     def test_sigkill_resume_real_threads(self):
         report = run_chaos(
             scale=6, num_seeds=1, executor="threads", num_threads=1,
