@@ -16,6 +16,15 @@ on rather than generic style:
   :func:`repro.rabbit.par.community_detection_par` (``detect_races=``)
   and ``repro stress --races``.
 
+On top of the engine sits the interprocedural layer:
+:mod:`repro.check.callgraph` builds the project call graph (``repro
+check --graph json|dot``), :mod:`repro.check.analyzers` runs three
+dataflow analyzers over it (async-reachability, shared-state ownership
+against the :mod:`repro.check.facts` table, dtype-flow), and
+:mod:`repro.check.baseline` / :mod:`repro.check.changed` /
+:mod:`repro.check.debt` provide the ratchet workflow (``--baseline``,
+``--changed``, ``--debt``).
+
 The whole subsystem self-hosts: ``repro check src/`` must run clean, so
 every intentional exception in the tree carries an inline suppression
 with its justification (catalogued in ``docs/CHECKS.md``).
@@ -28,10 +37,12 @@ from repro.check.engine import (
     FileContext,
     Finding,
     Rule,
+    Suppression,
     all_rules,
     get_rule,
     register_rule,
     run_check,
+    scan_suppressions,
 )
 
 __all__ = [
@@ -39,8 +50,10 @@ __all__ = [
     "FileContext",
     "Finding",
     "Rule",
+    "Suppression",
     "all_rules",
     "get_rule",
     "register_rule",
     "run_check",
+    "scan_suppressions",
 ]

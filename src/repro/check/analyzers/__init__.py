@@ -1,0 +1,21 @@
+"""Interprocedural dataflow analyzers, registered as project-wide rules.
+
+Importing this package registers the three analyzers:
+
+* ``async-blocking-reachable`` (:mod:`.asyncreach`) — blocking sinks
+  reachable from a coroutine through sync helper chains.
+* ``state-ownership`` (:mod:`.ownership`) — writes to protected shared
+  state reached from outside the owning protocol.
+* ``dtype-flow`` (:mod:`.dtypeflow`) — int32/float values flowing into
+  index positions across assignments, returns, and calls.
+
+All three share one call-graph build per run
+(:func:`repro.check.interproc.project_state`) and report at the *sink*
+line with the full call/flow path attached as ``Finding.trace``.
+"""
+
+from __future__ import annotations
+
+from repro.check.analyzers import asyncreach, dtypeflow, ownership
+
+__all__ = ["asyncreach", "dtypeflow", "ownership"]

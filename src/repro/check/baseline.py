@@ -1,0 +1,164 @@
+"""Committed finding baselines: fail CI only on *new* findings.
+
+Turning on an interprocedural analyzer over a mature tree can surface
+pre-existing findings that are real but not this change's fault.  The
+baseline mechanism lets CI ratchet instead of blocking: a committed
+``CHECK_BASELINE.json`` records the accepted findings, ``repro check
+--baseline diff`` reports only findings not in it (and, informationally,
+baseline entries that have been fixed), and ``--baseline write``
+refreshes the file once the new state is accepted.
+
+Findings are fingerprinted as ``(rule, path, message)`` — deliberately
+*without* the line number, so unrelated edits above a finding do not
+churn the baseline.  Two identical findings in one file (same rule and
+message, different lines) collapse to one fingerprint with a count, so
+adding a second instance of an already-baselined problem still fails.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.check.engine import CheckReport, Finding
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "BaselineDiff",
+    "fingerprint",
+    "write_baseline",
+    "diff_baseline",
+]
+
+#: default committed baseline location (repo root)
+DEFAULT_BASELINE = "CHECK_BASELINE.json"
+
+_SCHEMA = "repro-check-baseline/v1"
+
+Fingerprint = Tuple[str, str, str]
+
+#: ``path:123`` references inside analyzer messages (flow origins, call
+#: sites) — masked so the fingerprint survives line drift there too
+_LINE_REF = re.compile(r":\d+")
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    """Line-independent identity of a finding."""
+    return (finding.rule, finding.path, _LINE_REF.sub(":*", finding.message))
+
+
+def _counts(findings: List[Finding]) -> Counter[Fingerprint]:
+    return Counter(fingerprint(f) for f in findings)
+
+
+@dataclass
+class BaselineDiff:
+    """Findings split against a baseline: what is new, what went away."""
+
+    new: List[Finding] = field(default_factory=list)
+    resolved: List[Dict[str, object]] = field(default_factory=list)
+    baselined: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def format_text(self, report: CheckReport) -> str:
+        lines = [f.format() for f in self.new]
+        if self.resolved:
+            lines.append(
+                f"note: {len(self.resolved)} baselined finding(s) no longer "
+                "occur — run 'repro check --baseline write' to shrink the "
+                "baseline"
+            )
+        if self.ok:
+            lines.append(
+                f"clean vs baseline: {self.baselined} baselined, "
+                f"{len(self.resolved)} resolved, "
+                f"{report.files_checked} file(s), "
+                f"{len(report.rules_run)} rule(s)"
+            )
+        else:
+            lines.append(
+                f"{len(self.new)} new finding(s) not in baseline "
+                f"({self.baselined} baselined, {len(self.resolved)} resolved)"
+            )
+        return "\n".join(lines)
+
+    def to_json(self, report: CheckReport) -> str:
+        doc = {
+            "new": [f.to_dict() for f in self.new],
+            "resolved": self.resolved,
+            "baselined": self.baselined,
+            "files_checked": report.files_checked,
+            "rules_run": report.rules_run,
+            "ok": self.ok,
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def write_baseline(report: CheckReport, path: str | Path) -> int:
+    """Serialise *report*'s findings as the accepted baseline.
+
+    Returns the number of distinct fingerprints written.
+    """
+    counts = _counts(report.findings)
+    entries = [
+        {"rule": rule, "path": rel, "message": message, "count": count}
+        for (rule, rel, message), count in sorted(counts.items())
+    ]
+    doc = {
+        "schema": _SCHEMA,
+        "entries": entries,
+        "total_findings": len(report.findings),
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return len(entries)
+
+
+def _load(path: str | Path) -> Counter[Fingerprint]:
+    raw = json.loads(Path(path).read_text())
+    if raw.get("schema") != _SCHEMA:
+        raise ValueError(
+            f"{path}: not a check baseline (schema={raw.get('schema')!r}, "
+            f"expected {_SCHEMA!r})"
+        )
+    counts: Counter[Fingerprint] = Counter()
+    for entry in raw["entries"]:
+        key = (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+        counts[key] = int(entry.get("count", 1))
+    return counts
+
+
+def diff_baseline(report: CheckReport, path: str | Path) -> BaselineDiff:
+    """Split *report* against the baseline at *path*.
+
+    A finding is **new** when its fingerprint is absent from the
+    baseline, or present with a smaller count (the overflow instances
+    are new).  Baseline entries with no surviving instances are
+    **resolved**.  A missing baseline file treats everything as new —
+    run ``--baseline write`` first.
+    """
+    target = Path(path)
+    accepted: Counter[Fingerprint] = (
+        _load(target) if target.exists() else Counter()
+    )
+    diff = BaselineDiff()
+    remaining = dict(accepted)
+    for finding in report.findings:
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            diff.baselined += 1
+        else:
+            diff.new.append(finding)
+    for (rule, rel, message), count in sorted(remaining.items()):
+        if count > 0:
+            diff.resolved.append(
+                {"rule": rule, "path": rel, "message": message, "count": count}
+            )
+    return diff

@@ -1,0 +1,77 @@
+"""Git-diff-scoped checking: ``repro check --changed``.
+
+Resolves the set of Python files touched relative to a base ref (plus
+untracked files), so a developer iterating on a branch pays for one
+project parse but only reads findings for the files they actually
+changed.  Project-wide analyzers still see the whole tree — a changed
+caller can create a finding at an unchanged sink, which is exactly the
+class of regression interprocedural analysis exists to catch — and the
+engine's ``restrict=`` filter narrows *reporting* to the changed set.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+__all__ = ["changed_files", "GitError"]
+
+
+class GitError(RuntimeError):
+    """git could not answer (not a repo, bad ref, binary missing)."""
+
+
+def _git(args: Sequence[str], cwd: Optional[Path] = None) -> str:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise GitError(f"git {' '.join(args)}: {exc}") from exc
+    if proc.returncode != 0:
+        raise GitError(
+            f"git {' '.join(args)}: exit {proc.returncode}: "
+            f"{proc.stderr.strip()}"
+        )
+    return proc.stdout
+
+
+def changed_files(
+    base: str = "HEAD",
+    *,
+    cwd: Optional[Path] = None,
+    suffix: str = ".py",
+) -> List[Path]:
+    """Python files changed vs *base*, plus staged and untracked ones.
+
+    Paths are returned absolute, deduplicated, and only if they still
+    exist (deletions need no linting).  Raises :class:`GitError` when
+    git cannot answer, so the caller can fall back to a full run with a
+    clear message rather than silently checking nothing.
+    """
+    root = Path(_git(["rev-parse", "--show-toplevel"], cwd=cwd).strip())
+    names: List[str] = []
+    names.extend(
+        _git(["diff", "--name-only", "--diff-filter=d", base], cwd=cwd)
+        .splitlines()
+    )
+    names.extend(
+        _git(
+            ["ls-files", "--others", "--exclude-standard"], cwd=cwd
+        ).splitlines()
+    )
+    seen = set()
+    out: List[Path] = []
+    for name in names:
+        if not name.endswith(suffix) or name in seen:
+            continue
+        seen.add(name)
+        path = root / name
+        if path.exists():
+            out.append(path)
+    return out

@@ -1,0 +1,99 @@
+"""Suppression-debt report: ``repro check --debt``.
+
+Every ``# repro: ignore[...]`` pragma is a standing exception to an
+invariant the checker would otherwise enforce — debt that should stay
+visible rather than accrete silently.  This report inventories the
+pragmas across a file set, grouped by rule, and flags the two smells
+worth acting on:
+
+* a pragma with **no justification** text after the bracket, and
+* a **whole-file** ``ignore-file`` pragma, which is far blunter than a
+  line suppression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.check.engine import (
+    FileContext,
+    Suppression,
+    iter_python_files,
+    scan_suppressions,
+)
+
+__all__ = ["DebtReport", "debt_report"]
+
+
+@dataclass
+class DebtReport:
+    """The suppression inventory for one file set."""
+
+    suppressions: List[Suppression]
+    files_scanned: int
+    unjustified: List[Suppression] = field(init=False)
+    file_wide: List[Suppression] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.unjustified = [s for s in self.suppressions if not s.justification]
+        self.file_wide = [s for s in self.suppressions if s.kind == "ignore-file"]
+
+    def by_rule(self) -> Dict[str, List[Suppression]]:
+        grouped: Dict[str, List[Suppression]] = {}
+        for supp in self.suppressions:
+            grouped.setdefault(supp.rule, []).append(supp)
+        return grouped
+
+    def format_text(self) -> str:
+        if not self.suppressions:
+            return f"no suppressions in {self.files_scanned} file(s)"
+        lines: List[str] = []
+        for rule, supps in sorted(self.by_rule().items()):
+            lines.append(f"{rule} ({len(supps)}):")
+            for supp in supps:
+                marker = " [file-wide]" if supp.kind == "ignore-file" else ""
+                why = supp.justification or "(NO JUSTIFICATION)"
+                lines.append(f"  {supp.path}:{supp.line}{marker}: {why}")
+        lines.append(
+            f"{len(self.suppressions)} suppression(s) across "
+            f"{self.files_scanned} file(s); "
+            f"{len(self.unjustified)} unjustified, "
+            f"{len(self.file_wide)} file-wide"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        doc = {
+            "suppressions": [s.to_dict() for s in self.suppressions],
+            "files_scanned": self.files_scanned,
+            "unjustified": len(self.unjustified),
+            "file_wide": len(self.file_wide),
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def debt_report(paths: Sequence[str | Path]) -> DebtReport:
+    """Scan *paths* for suppression pragmas (unparseable files are
+    skipped — the checker itself reports those)."""
+    files = iter_python_files([Path(p) for p in paths])
+    ctxs: List[FileContext] = []
+    for path in files:
+        ctx = FileContext(path, rel=_rel(path))
+        try:
+            ctx.tree
+        except SyntaxError:
+            continue
+        ctxs.append(ctx)
+    return DebtReport(
+        suppressions=scan_suppressions(ctxs), files_scanned=len(files)
+    )
+
+
+def _rel(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()

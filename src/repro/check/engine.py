@@ -43,6 +43,9 @@ __all__ = [
     "all_rules",
     "run_check",
     "CheckReport",
+    "Suppression",
+    "scan_suppressions",
+    "iter_python_files",
     "PARSE_ERROR_RULE",
 ]
 
@@ -58,25 +61,39 @@ _RULE_ID_RE = re.compile(r"^[a-z][a-z0-9]*(-[a-z0-9]+)*$")
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a concrete source location."""
+    """One rule violation at a concrete source location.
+
+    Interprocedural rules report at the *sink* line (so the finding is
+    suppressible where the flagged code lives) and attach the call /
+    flow path that reached it as ``trace`` — preserved by both
+    reporters."""
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    #: optional call/flow chain (root first), each entry pre-rendered
+    trace: Tuple[str, ...] = ()
 
     def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        head = f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        if not self.trace:
+            return head
+        steps = "\n".join(f"      {i}. {s}" for i, s in enumerate(self.trace, 1))
+        return f"{head}\n    via:\n{steps}"
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        doc: Dict[str, object] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "message": self.message,
         }
+        if self.trace:
+            doc["trace"] = list(self.trace)
+        return doc
 
 
 class FileContext:
@@ -168,19 +185,38 @@ class FileContext:
         return rule_id in self._line_suppressions.get(line, set())
 
     # -- helpers for rules ----------------------------------------------
-    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+    def finding(
+        self,
+        rule_id: str,
+        node: ast.AST,
+        message: str,
+        *,
+        trace: Tuple[str, ...] = (),
+    ) -> Finding:
         return self.finding_at(
             rule_id,
             int(getattr(node, "lineno", 1)),
             message,
             col=int(getattr(node, "col_offset", 0)) + 1,
+            trace=trace,
         )
 
     def finding_at(
-        self, rule_id: str, line: int, message: str, *, col: int = 1
+        self,
+        rule_id: str,
+        line: int,
+        message: str,
+        *,
+        col: int = 1,
+        trace: Tuple[str, ...] = (),
     ) -> Finding:
         return Finding(
-            rule=rule_id, path=self.rel, line=line, col=col, message=message
+            rule=rule_id,
+            path=self.rel,
+            line=line,
+            col=col,
+            message=message,
+            trace=trace,
         )
 
 
@@ -312,18 +348,27 @@ def run_check(
     paths: Sequence[str | Path],
     *,
     rules: Optional[Sequence[str]] = None,
+    restrict: Optional[Sequence[str | Path]] = None,
 ) -> CheckReport:
     """Lint every ``.py`` file under *paths* with the selected rules.
 
     ``rules=None`` runs every registered rule; otherwise only the named
     ids (unknown ids raise :class:`~repro.errors.CheckError`).  Findings
     are sorted by path, line, column, rule id.
+
+    *restrict* (the ``--changed`` machinery) limits *reporting* to the
+    given files: file-local rules skip everything else outright, and
+    project-wide rules still see the whole file set (a call graph needs
+    every module) but only their findings in restricted files survive.
     """
     _ensure_rules_loaded()
     selected = (
         all_rules() if rules is None else [get_rule(rule_id) for rule_id in rules]
     )
     files = iter_python_files([Path(p) for p in paths])
+    restricted: Optional[Set[Path]] = None
+    if restrict is not None:
+        restricted = {Path(p).resolve() for p in restrict}
     findings: List[Finding] = []
     ctxs: List[FileContext] = []
     for path in files:
@@ -342,6 +387,11 @@ def run_check(
             )
             continue
         ctxs.append(ctx)
+    reportable = {
+        ctx.rel
+        for ctx in ctxs
+        if restricted is None or ctx.path.resolve() in restricted
+    }
     for rule in selected:
         if rule.project_wide:
             in_scope = [ctx for ctx in ctxs if rule.applies_to(ctx)]
@@ -350,18 +400,66 @@ def run_check(
             raw = (
                 finding
                 for ctx in ctxs
-                if rule.applies_to(ctx)
+                if ctx.rel in reportable and rule.applies_to(ctx)
                 for finding in rule.check(ctx)
             )
         by_rel = {ctx.rel: ctx for ctx in ctxs}
         for finding in raw:
-            ctx = by_rel.get(finding.path)
-            if ctx is not None and ctx.is_suppressed(finding.rule, finding.line):
+            if finding.path not in reportable:
+                continue
+            ctx2 = by_rel.get(finding.path)
+            if ctx2 is not None and ctx2.is_suppressed(finding.rule, finding.line):
                 continue
             findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return CheckReport(
         findings=findings,
-        files_checked=len(files),
+        files_checked=len(files) if restricted is None else len(reportable),
         rules_run=[rule.id for rule in selected],
     )
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline pragma, for the suppression-debt report."""
+
+    rule: str
+    path: str
+    line: int
+    kind: str  # "ignore" | "ignore-file"
+    justification: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "kind": self.kind,
+            "justification": self.justification,
+        }
+
+
+def scan_suppressions(ctxs: Sequence[FileContext]) -> List[Suppression]:
+    """Every inline pragma in *ctxs*, with its trailing justification —
+    the raw material of the suppression-debt report."""
+    found: List[Suppression] = []
+    for ctx in ctxs:
+        for lineno, line in enumerate(ctx.lines, start=1):
+            match = _PRAGMA_RE.search(line)
+            if match is None:
+                continue
+            why = line[match.end():].strip()
+            for rule_id in match.group("rules").split(","):
+                rule_id = rule_id.strip()
+                if rule_id:
+                    found.append(
+                        Suppression(
+                            rule=rule_id,
+                            path=ctx.rel,
+                            line=lineno,
+                            kind=match.group("kind"),
+                            justification=why,
+                        )
+                    )
+    found.sort(key=lambda s: (s.rule, s.path, s.line))
+    return found

@@ -5,6 +5,7 @@ Rule catalogue (ids, rationale, suppression syntax): ``docs/CHECKS.md``.
 
 from __future__ import annotations
 
+from repro.check import analyzers
 from repro.check.rules import (
     asynchrony,
     concurrency,
@@ -14,4 +15,12 @@ from repro.check.rules import (
     io,
 )
 
-__all__ = ["asynchrony", "concurrency", "determinism", "dtypes", "imports", "io"]
+__all__ = [
+    "analyzers",
+    "asynchrony",
+    "concurrency",
+    "determinism",
+    "dtypes",
+    "imports",
+    "io",
+]

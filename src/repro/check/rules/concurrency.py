@@ -30,6 +30,7 @@ from typing import Iterator
 
 from repro.check.astutil import collect_imports
 from repro.check.engine import FileContext, Finding, Rule, register_rule
+from repro.check.facts import lexical_owner_files
 
 __all__ = ["LockInLockfreePath", "PrivateAtomicState", "UnsupervisedProcess"]
 
@@ -44,21 +45,18 @@ _BLOCKING = {
     "Barrier",
 }
 
-#: Private concurrent-state attributes, each mapped to the one module
-#: (the owning layer) allowed to touch it.  Everything else goes through
-#: the owner's public operations, which are what the race detector
-#: instruments.
-_PRIVATE_STATE_OWNERS = {
-    # AtomicPairArray internals — only the atomic layer.
-    "_degree": "repro/parallel/atomics.py",
-    "_child": "repro/parallel/atomics.py",
-    "_locks": "repro/parallel/atomics.py",
-    "_lock_for": "repro/parallel/atomics.py",
-    # ShardedAdjacency's shard table — only the flat-array engine; reach
-    # through neighbours()/fold, or snapshot via the checkpoint codec.
-    "_shards": "repro/rabbit/fastpar.py",
-    # AdjacencyArena's bump-allocator cursor — only the arena itself.
-    "_cursor": "repro/rabbit/arena.py",
+#: Private concurrent-state attributes, each mapped to the owner files
+#: allowed to touch them.  The protected attrs and their owning modules
+#: come from the shared ownership table
+#: (:func:`repro.check.facts.lexical_owner_files`) so this rule and the
+#: interprocedural ``state-ownership`` analyzer never disagree on who
+#: owns what; the lock internals below are extra — they are atomic-layer
+#: implementation details rather than protocol state, so only the
+#: lexical rule polices them.
+_PRIVATE_STATE_OWNERS: dict[str, tuple[str, ...]] = {
+    **lexical_owner_files(),
+    "_locks": ("repro/parallel/atomics.py",),
+    "_lock_for": ("repro/parallel/atomics.py",),
 }
 
 
@@ -107,15 +105,15 @@ class PrivateAtomicState(Rule):
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Attribute):
                 continue
-            owner = _PRIVATE_STATE_OWNERS.get(node.attr)
-            if owner is None or ctx.rel.endswith(owner):
+            owners = _PRIVATE_STATE_OWNERS.get(node.attr)
+            if owners is None or any(ctx.rel.endswith(o) for o in owners):
                 continue
             yield ctx.finding(
                 self.id,
                 node,
                 f"access to concurrent-layer private state .{node.attr} "
-                f"(owned by {owner}); use the owner's public operations "
-                "or the *_view() bulk accessors",
+                f"(owned by {', '.join(owners)}); use the owner's public "
+                "operations or the *_view() bulk accessors",
             )
 
 

@@ -1,0 +1,9 @@
+"""Call-graph fixture package root.
+
+Re-exports ``helper`` so the golden test covers one-hop forwarding
+through a package ``__init__``.
+"""
+
+from repro.beta import helper
+
+__all__ = ["helper"]

@@ -1,0 +1,20 @@
+"""Async fixture: a coroutine that reaches a blocking sink through a
+sync chain, plus the two sanctioned hand-off shapes (executor, thread)
+that must become non-traversed edges."""
+
+import asyncio
+import threading
+
+from repro.alpha import chain_a
+from repro.beta import blocking_helper
+
+
+async def handler():
+    chain_a()
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, blocking_helper)
+
+
+async def offload():
+    thread = threading.Thread(target=blocking_helper)
+    thread.start()

@@ -1,0 +1,50 @@
+"""Fixture exercising every resolution path the builder supports:
+imports through the package ``__init__``, call chains, constructor
+resolution, ``self.method``/``self.attr.method``/local-instance method
+calls, and nested defs."""
+
+from repro import helper
+from repro.beta import blocking_helper
+
+
+def outer():
+    return helper()
+
+
+def chain_a():
+    return chain_b()
+
+
+def chain_b():
+    return blocking_helper()
+
+
+class Gadget:
+    def ping(self):
+        return 0
+
+
+class Widget:
+    def __init__(self, start):
+        self.count = start
+        self.buddy = Gadget()
+
+    def bump(self):
+        self.count += 1
+        return chain_a()
+
+    def poke(self):
+        return self.buddy.ping()
+
+
+def make_widget():
+    w = Widget(0)
+    w.bump()
+    return w
+
+
+def nested_host():
+    def inner():
+        return helper()
+
+    return inner()

@@ -1,0 +1,11 @@
+"""Leaf module: a plain helper and a blocking one."""
+
+
+def helper():
+    return 1
+
+
+def blocking_helper():
+    import time
+
+    time.sleep(0.25)

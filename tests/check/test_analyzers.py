@@ -1,0 +1,437 @@
+"""The three interprocedural analyzers: positives, negatives, and the
+two seeded mutants the acceptance gate requires.
+
+Each test builds a tiny ``repro/`` tree under ``tmp_path`` (the module
+anchoring keys off the ``repro`` path component) and runs ``run_check``
+with just the analyzer under test, so lexical rules cannot mask an
+analyzer regression.
+"""
+
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.check import run_check
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def write_tree(root: Path, files: dict) -> Path:
+    for rel, content in files.items():
+        path = root / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content).lstrip("\n"))
+    pkg_dirs = {p.parent for p in (root / "repro").rglob("*.py")}
+    pkg_dirs.add(root / "repro")
+    for d in pkg_dirs:
+        init = d / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+    return root / "repro"
+
+
+def findings_for(report, rule):
+    return [f for f in report.findings if f.rule == rule]
+
+
+class TestAsyncReachability:
+    def test_blocking_sink_behind_sync_chain_is_flagged(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "svc.py": """
+                import time
+
+
+                async def handle(req):
+                    return describe(req)
+
+
+                def describe(req):
+                    return summarize(req)
+
+
+                def summarize(req):
+                    time.sleep(1.0)
+                    return req
+            """,
+        })
+        report = run_check([tree], rules=["async-blocking-reachable"])
+        found = findings_for(report, "async-blocking-reachable")
+        assert len(found) == 1
+        f = found[0]
+        assert "time.sleep" in f.message
+        assert "handle" in f.message
+        # the finding lands on the sink line, with the chain in the trace
+        assert f.line == 13
+        assert any("repro.svc.handle" in step for step in f.trace)
+        assert any("repro.svc.summarize" in step for step in f.trace)
+
+    def test_executor_handoff_is_sanctioned(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "svc.py": """
+                import asyncio
+
+
+                def crunch():
+                    import time
+                    time.sleep(5.0)
+
+
+                async def handle(req):
+                    loop = asyncio.get_running_loop()
+                    return await loop.run_in_executor(None, crunch)
+            """,
+        })
+        report = run_check([tree], rules=["async-blocking-reachable"])
+        assert findings_for(report, "async-blocking-reachable") == []
+
+    def test_lambda_body_does_not_leak_into_coroutine(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "svc.py": """
+                import asyncio
+                import time
+
+
+                async def handle(req):
+                    loop = asyncio.get_running_loop()
+                    return await loop.run_in_executor(
+                        None, lambda: time.sleep(1.0)
+                    )
+            """,
+        })
+        report = run_check([tree], rules=["async-blocking-reachable"])
+        assert findings_for(report, "async-blocking-reachable") == []
+
+    def test_depth_zero_sink_left_to_lexical_rule(self, tmp_path):
+        # Inside repro/serve/ a time.sleep directly in the async def is
+        # the lexical rule's finding; the interprocedural rule must stay
+        # silent (no double report), and the lexical rule must fire.
+        tree = write_tree(tmp_path, {
+            "serve/svc.py": """
+                import time
+
+
+                async def handle(req):
+                    time.sleep(1.0)
+            """,
+        })
+        inter = run_check([tree], rules=["async-blocking-reachable"])
+        assert findings_for(inter, "async-blocking-reachable") == []
+        lexical = run_check([tree], rules=["blocking-call-in-async"])
+        assert len(findings_for(lexical, "blocking-call-in-async")) == 1
+
+    def test_depth_zero_sink_outside_lexical_scope_is_covered(self, tmp_path):
+        # Outside repro/serve/ the lexical rule does not apply — the
+        # interprocedural rule must pick up the direct sink so no
+        # coroutine escapes both.
+        tree = write_tree(tmp_path, {
+            "order/svc.py": """
+                import time
+
+
+                async def drive(req):
+                    time.sleep(1.0)
+            """,
+        })
+        report = run_check([tree], rules=["async-blocking-reachable"])
+        found = findings_for(report, "async-blocking-reachable")
+        assert len(found) == 1
+        assert "called directly in coroutine" in found[0].message
+
+    def test_dynamic_path_io_sink(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "svc.py": """
+                async def handle(path):
+                    return load(path)
+
+
+                def load(path):
+                    return path.read_text()
+            """,
+        })
+        report = run_check([tree], rules=["async-blocking-reachable"])
+        found = findings_for(report, "async-blocking-reachable")
+        assert len(found) == 1
+        assert "read_text" in found[0].message
+
+    def test_suppressible_at_the_sink_line(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "svc.py": """
+                import time
+
+
+                async def handle(req):
+                    return describe(req)
+
+
+                def describe(req):
+                    time.sleep(0.001)  # repro: ignore[async-blocking-reachable] sub-ms backoff, measured
+                    return req
+            """,
+        })
+        report = run_check([tree], rules=["async-blocking-reachable"])
+        assert findings_for(report, "async-blocking-reachable") == []
+
+
+class TestStateOwnership:
+    def test_direct_write_outside_owner_module(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "rabbit/fastpar.py": """
+                class ShardedAdjacency:
+                    def __init__(self):
+                        self._shards = []
+            """,
+            "order/rogue.py": """
+                def hijack(adj):
+                    adj._shards.append(None)
+            """,
+        })
+        report = run_check([tree], rules=["state-ownership"])
+        found = findings_for(report, "state-ownership")
+        assert len(found) == 1
+        assert "rogue.py" in found[0].path
+        assert "_shards" in found[0].message
+
+    def test_escaped_mutator_reachable_from_outside(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "rabbit/fastpar.py": """
+                class ShardedAdjacency:
+                    def __init__(self):
+                        self._shards = []
+
+                    def _grow(self):
+                        self._shards.append([])
+            """,
+            "order/client.py": """
+                def expand(adj):
+                    adj._grow()
+            """,
+        })
+        report = run_check([tree], rules=["state-ownership"])
+        found = findings_for(report, "state-ownership")
+        assert len(found) == 1
+        f = found[0]
+        assert "fastpar.py" in f.path  # the write is the sink
+        assert "_grow" in f.message
+        assert "repro.order.client.expand" in f.message
+        assert any("expand" in step for step in f.trace)
+
+    def test_entry_point_chain_is_sanctioned(self, tmp_path):
+        # store() is a declared entry point for _shards: reaching the
+        # internal writer through it is the sanctioned protocol.
+        tree = write_tree(tmp_path, {
+            "rabbit/fastpar.py": """
+                class ShardedAdjacency:
+                    def __init__(self):
+                        self._shards = []
+
+                    def store(self, item):
+                        self._append(item)
+
+                    def _append(self, item):
+                        self._shards.append(item)
+            """,
+            "order/client.py": """
+                def use(adj):
+                    adj.store(1)
+            """,
+        })
+        report = run_check([tree], rules=["state-ownership"])
+        assert findings_for(report, "state-ownership") == []
+
+    def test_internal_only_mutator_is_clean(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "rabbit/fastpar.py": """
+                class ShardedAdjacency:
+                    def __init__(self):
+                        self._shards = []
+
+                    def _rebuild(self):
+                        self._shards.clear()
+            """,
+        })
+        report = run_check([tree], rules=["state-ownership"])
+        assert findings_for(report, "state-ownership") == []
+
+
+class TestDtypeFlow:
+    def test_float_from_division_through_return(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "graph/util.py": """
+                def _midpoint(lo, hi):
+                    return (lo + hi) / 2
+
+
+                def bisect(arr, lo, hi):
+                    mid = _midpoint(lo, hi)
+                    return arr[mid]
+            """,
+        })
+        report = run_check([tree], rules=["dtype-flow"])
+        found = findings_for(report, "dtype-flow")
+        assert len(found) == 1
+        f = found[0]
+        assert f.line == 7
+        assert "float" in f.message
+        assert "division" in f.message
+
+    def test_float64_default_constructor(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "graph/util.py": """
+                import numpy as np
+
+
+                def fetch(arr):
+                    idx = np.zeros(4)
+                    return arr[idx]
+            """,
+        })
+        report = run_check([tree], rules=["dtype-flow"])
+        found = findings_for(report, "dtype-flow")
+        assert len(found) == 1
+        assert "float64 by default" in found[0].message
+
+    def test_int32_flows_into_index_parameter(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "graph/util.py": """
+                import numpy as np
+
+
+                def pick(arr, pos):
+                    return arr[pos]
+
+
+                def caller(arr):
+                    j = np.arange(3, dtype=np.int32)
+                    return pick(arr, j)
+            """,
+        })
+        report = run_check([tree], rules=["dtype-flow"])
+        found = findings_for(report, "dtype-flow")
+        assert len(found) == 1
+        f = found[0]
+        assert f.line == 5  # the sink inside pick()
+        assert "int32" in f.message
+        assert "'pos'" in f.message
+        assert any("caller" in step for step in f.trace)
+
+    def test_int64_and_bool_mask_indexing_clean(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "graph/util.py": """
+                import numpy as np
+
+
+                def clean(arr):
+                    k = np.arange(5)
+                    mask = np.zeros(5, dtype=bool)
+                    first = arr[0]
+                    return arr[k], arr[mask], first
+            """,
+        })
+        report = run_check([tree], rules=["dtype-flow"])
+        assert findings_for(report, "dtype-flow") == []
+
+    def test_astype_launders_the_dtype(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "graph/util.py": """
+                import numpy as np
+
+
+                def fixed(arr):
+                    idx = np.zeros(4).astype(np.int64)
+                    return arr[idx]
+            """,
+        })
+        report = run_check([tree], rules=["dtype-flow"])
+        assert findings_for(report, "dtype-flow") == []
+
+    def test_sinks_outside_numeric_core_not_reported(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "obs/report.py": """
+                import numpy as np
+
+
+                def fetch(arr):
+                    idx = np.zeros(4)
+                    return arr[idx]
+            """,
+        })
+        report = run_check([tree], rules=["dtype-flow"])
+        assert findings_for(report, "dtype-flow") == []
+
+    def test_rebind_to_other_dtype_kills_tracking(self, tmp_path):
+        # idx is float, then rebound to an int64 value: the later index
+        # use is fine and must not inherit the stale float dtype.
+        tree = write_tree(tmp_path, {
+            "graph/util.py": """
+                import numpy as np
+
+
+                def fetch(arr):
+                    idx = np.zeros(4)
+                    idx = np.arange(4)
+                    return arr[idx]
+            """,
+        })
+        report = run_check([tree], rules=["dtype-flow"])
+        assert findings_for(report, "dtype-flow") == []
+
+
+@pytest.fixture(scope="module")
+def mutant_tree(tmp_path_factory):
+    """A full copy of src/repro with the two acceptance mutants seeded:
+    a blocking call in a coroutine-reachable sync helper, and a rogue
+    shard-table write in a non-owner module."""
+    root = tmp_path_factory.mktemp("mutants")
+    tree = root / "repro"
+    shutil.copytree(
+        REPO_SRC, tree,
+        ignore=shutil.ignore_patterns("__pycache__"),
+    )
+    protocol = tree / "serve" / "protocol.py"
+    text = protocol.read_text()
+    needle = "def encode_message(message: dict[str, Any]) -> bytes:"
+    assert needle in text
+    protocol.write_text(text.replace(
+        needle,
+        needle + "\n    import time\n    time.sleep(0.01)",
+        1,
+    ))
+    registry = tree / "order" / "registry.py"
+    registry.write_text(
+        registry.read_text()
+        + "\n\ndef _mutant_rogue(adj):\n    adj._shards.append(None)\n"
+    )
+    return tree
+
+
+class TestSeededMutants:
+    def test_blocking_call_in_async_reachable_helper_is_flagged(
+        self, mutant_tree
+    ):
+        report = run_check([mutant_tree], rules=["async-blocking-reachable"])
+        found = findings_for(report, "async-blocking-reachable")
+        assert found, "seeded time.sleep in encode_message not detected"
+        assert any(
+            "protocol.py" in f.path and "time.sleep" in f.message
+            for f in found
+        )
+        # the trace names the coroutine that reaches it
+        traced = [f for f in found if "protocol.py" in f.path][0]
+        assert any("repro.serve.daemon" in step for step in traced.trace)
+
+    def test_rogue_shard_write_is_flagged(self, mutant_tree):
+        report = run_check([mutant_tree], rules=["state-ownership"])
+        found = findings_for(report, "state-ownership")
+        assert found, "seeded rogue ._shards write not detected"
+        assert any(
+            "registry.py" in f.path and "_shards" in f.message
+            for f in found
+        )
+
+    def test_unmutated_rules_stay_clean_on_mutant_tree(self, mutant_tree):
+        # The mutants must trip exactly the targeted analyzers — the
+        # dtype-flow pass has no seeded defect and must stay quiet.
+        report = run_check([mutant_tree], rules=["dtype-flow"])
+        assert findings_for(report, "dtype-flow") == []

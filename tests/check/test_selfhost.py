@@ -19,8 +19,40 @@ class TestSelfHost:
 
     def test_every_registered_rule_ran(self):
         report = run_check([REPO_ROOT / "src"])
-        assert len(report.rules_run) == 13
+        assert len(report.rules_run) == 16
         assert report.files_checked > 90
+
+    def test_interprocedural_analyzers_are_registered(self):
+        report = run_check([REPO_ROOT / "src"])
+        for rule_id in (
+            "async-blocking-reachable",
+            "state-ownership",
+            "dtype-flow",
+        ):
+            assert rule_id in report.rules_run
+
+    def test_declared_facts_bind_to_real_functions(self):
+        # Every DISPATCH_EDGES / OWNERSHIP_FACTS qualname must still
+        # name a function in the tree — facts must not rot as code moves.
+        from repro.check.callgraph import build_callgraph
+        from repro.check.engine import FileContext, iter_python_files
+        from repro.check.facts import OWNERSHIP_FACTS
+
+        ctxs = []
+        for path in iter_python_files([REPO_ROOT / "src"]):
+            rel = path.relative_to(REPO_ROOT).as_posix()
+            ctx = FileContext(path, rel=rel)
+            ctx.tree
+            ctxs.append(ctx)
+        graph = build_callgraph(ctxs)
+        assert graph.unbound_facts == []
+        missing = [
+            entry
+            for fact in OWNERSHIP_FACTS
+            for entry in fact.entry_points
+            if entry not in graph.nodes
+        ]
+        assert missing == [], f"ownership entry points not found: {missing}"
 
     def test_intentional_suppressions_carry_justifications(self):
         # Every inline pragma must say *why* (text after the bracket);
